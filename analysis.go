@@ -1,0 +1,47 @@
+package hot
+
+import (
+	"repro/internal/analysis"
+)
+
+// Halo is a friends-of-friends group found by FindHalos.
+type Halo struct {
+	// Members indexes the bodies slice passed to FindHalos.
+	Members []int
+	Mass    float64
+	Center  [3]float64
+	// HalfMassRadius contains half the halo's mass.
+	HalfMassRadius float64
+}
+
+// FindHalos runs the friends-of-friends halo finder over the bodies:
+// particles closer than the linking length join a group, and groups
+// with at least minMembers particles are returned, most massive
+// first. This is the "galaxy identification" step of the paper's
+// science case.
+func FindHalos(bodies []Body, linkingLength float64, minMembers int) []Halo {
+	sys := toSystem(bodies)
+	found := analysis.FOF(sys, linkingLength, minMembers)
+	out := make([]Halo, len(found))
+	for i, h := range found {
+		members := make([]int, len(h.Members))
+		for k, m := range h.Members {
+			// Map back to the caller's indexing via the stable IDs
+			// (FOF sorts the system internally).
+			members[k] = int(sys.ID[m])
+		}
+		out[i] = Halo{
+			Members:        members,
+			Mass:           h.Mass,
+			Center:         [3]float64{h.Center.X, h.Center.Y, h.Center.Z},
+			HalfMassRadius: h.R50,
+		}
+	}
+	return out
+}
+
+// Correlation estimates the two-point correlation function xi(r) of
+// the body distribution on logarithmic bins in [rMin, rMax].
+func Correlation(bodies []Body, rMin, rMax float64, bins int) (r, xi []float64) {
+	return analysis.TwoPointCorrelation(toSystem(bodies), rMin, rMax, bins)
+}

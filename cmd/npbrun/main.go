@@ -1,0 +1,65 @@
+// Command npbrun executes the NPB kernel reproductions and prints the
+// paper's Table 3 (16-processor Loki vs ASCI Red) and Table 4 /
+// Figure 3 (rank scaling) in shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/msg"
+	"repro/internal/npb"
+)
+
+func main() {
+	table3 := flag.Bool("table3", false, "16-rank Loki vs Red comparison")
+	table4 := flag.Bool("table4", false, "rank sweep (Table 4 / Figure 3)")
+	kernel := flag.String("kernel", "", "run one kernel (EP,IS,FT,MG,CG,BT,SP,LU)")
+	ranks := flag.Int("ranks", 4, "rank count for -kernel")
+	big := flag.Bool("big", false, "use the larger mini class")
+	flag.Parse()
+
+	sizes := npb.MiniA
+	if *big {
+		sizes = npb.MiniB
+	}
+
+	switch {
+	case *table3:
+		fmt.Println("Table 3 (shape): NPB per-kernel Mop/s at 16 processors")
+		fmt.Print(experiments.FormatNPBRows(experiments.NPBTable3(sizes)))
+		fmt.Println("\npaper's Table 3 shape: ASCI Red 10-30% ahead of Loki on the")
+		fmt.Println("compute kernels, far ahead only on the bandwidth-hungry IS.")
+	case *table4:
+		fmt.Println("Table 4 / Figure 3 (shape): NPB scaling on modeled Loki")
+		rankList := []int{1, 2, 4, 8, 16}
+		tab := experiments.NPBTable4(sizes, rankList)
+		// Print as one series per kernel, like Figure 3.
+		fmt.Printf("%-3s", "Krn")
+		for _, np := range rankList {
+			fmt.Printf(" %10s", fmt.Sprintf("x%d Mop/s", np))
+		}
+		fmt.Println()
+		for i, k := range npb.Kernels {
+			fmt.Printf("%-3s", k)
+			for _, np := range rankList {
+				fmt.Printf(" %10.1f", tab[np][i].LokiMops)
+			}
+			fmt.Println()
+		}
+	case *kernel != "":
+		name := strings.ToUpper(*kernel)
+		msg.Run(*ranks, func(c *msg.Comm) {
+			r := npb.RunKernel(c, name, sizes)
+			if c.Rank() == 0 {
+				fmt.Println(r)
+			}
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "one of -table3, -table4 or -kernel required")
+		os.Exit(2)
+	}
+}

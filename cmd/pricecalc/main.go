@@ -1,0 +1,46 @@
+// Command pricecalc reproduces the paper's price/performance
+// arithmetic: Tables 1 and 2, the August-1997 rebuild price, and the
+// $/Mflop figures of merit for the headline runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	aug97 := flag.Bool("aug97", false, "show only the August 1997 spot-price table")
+	flag.Parse()
+
+	if !*aug97 {
+		fmt.Println("Table 1: Loki architecture and price (September 1996)")
+		fmt.Print(perfmodel.FormatTable(perfmodel.Table1Loki))
+		fmt.Println()
+	}
+	fmt.Println("Table 2: spot prices, August 1997")
+	fmt.Print(perfmodel.FormatTable(perfmodel.Table2Spot))
+	fmt.Printf("\n16-processor rebuild from Table 2 parts: $%.0f (paper: ~$28k)\n\n",
+		perfmodel.Aug97SystemUSD())
+	if *aug97 {
+		return
+	}
+
+	fmt.Println("Price/performance (paper's figures of merit):")
+	rows := []struct {
+		what   string
+		price  float64
+		mflops float64
+		paper  string
+	}{
+		{"Loki, 10-day 9.75M-body run (879 Mflops)", perfmodel.Loki.PriceUSD, 879, "$58/Mflop"},
+		{"Loki, initial 30 steps (1.19 Gflops)", perfmodel.Loki.PriceUSD, 1190, "$43/Mflop"},
+		{"Loki+Hyglac at SC'96 (2.19 Gflops)", perfmodel.SC96.PriceUSD, 2190, "$47/Mflop"},
+		{"Hyglac vortex run (950 Mflops)", perfmodel.Hyglac.PriceUSD, 950, "$53/Mflop"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-44s $%5.1f/Mflop (paper: %s)\n",
+			r.what, perfmodel.PricePerMflop(r.price, r.mflops), r.paper)
+	}
+}

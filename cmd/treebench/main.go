@@ -1,0 +1,69 @@
+// Command treebench benchmarks the parallel hashed oct-tree on a
+// clustered body distribution, printing interaction counts, host
+// throughput, and modeled throughput on the paper's machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grav"
+	"repro/internal/ic"
+	"repro/internal/msg"
+	"repro/internal/parallel"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "number of bodies")
+	procs := flag.Int("procs", 8, "simulated processors")
+	steps := flag.Int("steps", 3, "timesteps")
+	theta := flag.Float64("theta", 0, "Barnes-Hut opening angle (0 = use -atol)")
+	atol := flag.Float64("atol", 1e-4, "Salmon-Warren acceleration error bound")
+	bucket := flag.Int("bucket", 16, "tree leaf size")
+	flag.Parse()
+
+	global := ic.Plummer(*n, 1.0, 42)
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: *atol, Quad: true}
+	if *theta > 0 {
+		mac = grav.MACParams{Kind: grav.MACBarnesHut, Theta: *theta, Quad: true}
+	}
+
+	engines := make([]*parallel.Engine, *procs)
+	start := time.Now()
+	w := msg.Run(*procs, func(c *msg.Comm) {
+		local := core.New(0)
+		local.EnableDynamics()
+		lo, hi := c.Rank()**n / *procs, (c.Rank()+1)**n / *procs
+		for i := lo; i < hi; i++ {
+			local.AppendFrom(global, i)
+		}
+		e := parallel.New(c, local, parallel.Config{MAC: mac, Bucket: *bucket, Eps2: 1e-6})
+		e.ComputeForces()
+		for s := 0; s < *steps; s++ {
+			e.Step(1e-3)
+		}
+		engines[c.Rank()] = e
+	})
+	wall := time.Since(start).Seconds()
+
+	var inter, flops uint64
+	for _, e := range engines {
+		inter += e.Counters.Interactions()
+		flops += e.Counters.Flops()
+	}
+	evals := uint64(*steps + 1)
+	fmt.Printf("N=%d procs=%d evaluations=%d\n", *n, *procs, evals)
+	fmt.Printf("interactions: %d total, %.1f per body per evaluation\n",
+		inter, float64(inter)/float64(*n)/float64(evals))
+	fmt.Printf("flops (38/interaction): %d\n", flops)
+	fmt.Printf("host: %.2fs wall, %.2f Gflops-equivalent\n", wall, float64(flops)/wall/1e9)
+	comm := w.MaxRankTraffic()
+	fmt.Printf("comm (max rank): %d msgs, %.2f MB\n", comm.Msgs, float64(comm.Bytes)/1e6)
+	for _, m := range []*perfmodel.Machine{&perfmodel.Loki, &perfmodel.ASCIRed} {
+		est := m.Model(flops, perfmodel.RegimeTreeEarly, comm)
+		fmt.Printf("modeled on %s\n  %s\n", m.Name, est)
+	}
+}

@@ -1,0 +1,72 @@
+// Crossover: where does the O(N log N) treecode beat the O(N^2)
+// direct sum, and what does the force accuracy cost? This example
+// sweeps N, measures both algorithms' interaction counts and wall
+// times, and verifies the treecode error against the direct answer --
+// the quantitative footing of the paper's claim that a good algorithm
+// beats a factor-10-per-5-years hardware curve.
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	hot "repro"
+)
+
+func main() {
+	fmt.Printf("%8s %14s %14s %9s %10s %10s %12s\n",
+		"N", "tree inter.", "direct inter.", "ratio", "tree ms", "direct ms", "rms error")
+	cfg := hot.Defaults()
+	cfg.AccelTol = 1e-5
+
+	for _, n := range []int{500, 1000, 2000, 4000, 8000, 16000} {
+		bodies := hot.PlummerSphere(n, 1.0, 7)
+
+		t0 := time.Now()
+		sim, err := hot.NewSerial(bodies, cfg)
+		if err != nil {
+			panic(err)
+		}
+		treeMS := time.Since(t0).Seconds() * 1e3
+		info := sim.Info()
+
+		t0 = time.Now()
+		accD, infoD := hot.DirectForces(bodies, cfg.Eps)
+		directMS := time.Since(t0).Seconds() * 1e3
+
+		// Compare the treecode forces (via one tiny step's kick) --
+		// easiest through a second evaluation: use DirectForces for
+		// the reference and the engine's own interactions for cost;
+		// the error metric reuses the direct result.
+		rms := forceError(sim, accD)
+
+		fmt.Printf("%8d %14d %14d %9.1f %10.1f %10.1f %12.2e\n",
+			n, info.Interactions, infoD.Interactions,
+			float64(infoD.Interactions)/float64(info.Interactions),
+			treeMS, directMS, rms)
+	}
+	fmt.Println("\nthe interaction ratio grows ~N/log N: at the paper's N = 322M it")
+	fmt.Println("reaches ~1e5, the paper's 'treecode is 10^5 times more efficient'.")
+}
+
+// forceError measures the RMS-relative deviation of the treecode
+// accelerations from the direct reference.
+func forceError(sim *hot.Serial, ref [][3]float64) float64 {
+	// Advance by a zero step to expose accelerations via velocities:
+	// instead, recompute using the public API: kick with dt and undo.
+	// Simpler: use the body velocities after a tiny step.
+	before := sim.Bodies()
+	sim.Step(1e-9)
+	after := sim.Bodies()
+	var num, den float64
+	for i := range ref {
+		for k := 0; k < 3; k++ {
+			a := (after[i].Vel[k] - before[i].Vel[k]) / 1e-9
+			d := a - ref[i][k]
+			num += d * d
+			den += ref[i][k] * ref[i][k]
+		}
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,23 @@
+package hot
+
+import (
+	"repro/internal/ic"
+)
+
+// PlummerSphere returns n bodies sampling a virialized Plummer sphere
+// of total mass 1 and scale radius a (deterministic for a given seed).
+func PlummerSphere(n int, a float64, seed int64) []Body {
+	return fromSystem(ic.Plummer(n, a, seed))
+}
+
+// ColdSphere returns n equal-mass bodies at rest, uniform in a sphere
+// of the given radius: a cold-collapse initial condition.
+func ColdSphere(n int, radius float64, seed int64) []Body {
+	return fromSystem(ic.UniformSphere(n, radius, seed))
+}
+
+// TwoBodyOrbit returns a circular two-body orbit with masses m1, m2
+// and separation d (period 2*pi*sqrt(d^3/(m1+m2)) with G = 1).
+func TwoBodyOrbit(m1, m2, d float64) []Body {
+	return fromSystem(ic.TwoBody(m1, m2, d))
+}

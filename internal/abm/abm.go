@@ -1,0 +1,102 @@
+// Package abm implements the paper's "asynchronous batched messages"
+// paradigm: instead of stalling the tree walk on every non-local
+// access, requests for remote data are queued per destination while
+// the walk context-switches to other work; queued batches are then
+// exchanged in bulk, each side serves what it received with an active
+// message-style handler, and replies return batched the same way.
+//
+// In this in-process reproduction a batch exchange is one collective
+// round: every rank flushes its queues with an all-to-all, serves the
+// requests that arrived, and collects the replies to its own
+// requests. The engine guarantees replies come back aligned with the
+// posted requests (per destination, in posting order), which is what
+// lets the treecode insert fetched cells without any bookkeeping
+// beyond the original key list.
+package abm
+
+import "repro/internal/msg"
+
+// Engine batches Req values per destination rank and exchanges them
+// in rounds, invoking Handler on the serving side.
+type Engine[Req, Rep any] struct {
+	c        *msg.Comm
+	reqBytes int
+	repBytes int
+	// Handler serves a batch of requests from src, returning exactly
+	// one reply per request, in order.
+	Handler func(src int, reqs []Req) []Rep
+	queues  [][]Req
+	// Posted counts requests queued since construction (diagnostic).
+	Posted uint64
+	// Served counts requests this rank handled (diagnostic).
+	Served uint64
+	// Rounds counts exchange rounds executed.
+	Rounds uint64
+}
+
+// New creates an engine on communicator c. reqBytes and repBytes are
+// the logical wire sizes per request and per (fixed part of a) reply
+// for traffic accounting.
+func New[Req, Rep any](c *msg.Comm, reqBytes, repBytes int, handler func(src int, reqs []Req) []Rep) *Engine[Req, Rep] {
+	return &Engine[Req, Rep]{
+		c:        c,
+		reqBytes: reqBytes,
+		repBytes: repBytes,
+		Handler:  handler,
+		queues:   make([][]Req, c.Size()),
+	}
+}
+
+// Post queues one request for rank dst. Posting to the local rank is
+// allowed; it is served locally during the next Round.
+func (e *Engine[Req, Rep]) Post(dst int, r Req) {
+	e.queues[dst] = append(e.queues[dst], r)
+	e.Posted++
+}
+
+// PendingLocal reports whether this rank has unflushed requests.
+func (e *Engine[Req, Rep]) PendingLocal() bool {
+	for _, q := range e.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Round is a collective: all ranks must call it together. It flushes
+// every queue, serves incoming batches with Handler, and returns the
+// replies to this rank's requests, indexed by destination rank and
+// aligned with posting order. Ranks with nothing to send still
+// participate (they may be serving others).
+func (e *Engine[Req, Rep]) Round() [][]Rep {
+	e.Rounds++
+	out := e.queues
+	e.queues = make([][]Req, e.c.Size())
+
+	arrived := msg.Alltoallv(e.c, out, e.reqBytes)
+	replies := make([][]Rep, e.c.Size())
+	for src := range arrived {
+		if len(arrived[src]) == 0 {
+			continue
+		}
+		e.Served += uint64(len(arrived[src]))
+		reps := e.Handler(src, arrived[src])
+		if len(reps) != len(arrived[src]) {
+			panic("abm: handler must return one reply per request")
+		}
+		replies[src] = reps
+	}
+	return msg.Alltoallv(e.c, replies, e.repBytes)
+}
+
+// AnyPendingGlobal is a collective that reports whether any rank has
+// pending work (its own unflushed requests or the caller-supplied
+// extra condition). Used as the termination test of the round loop.
+func (e *Engine[Req, Rep]) AnyPendingGlobal(extra bool) bool {
+	local := 0
+	if extra || e.PendingLocal() {
+		local = 1
+	}
+	return msg.Allreduce(e.c, local, msg.MaxI, 4) != 0
+}

@@ -1,0 +1,143 @@
+package abm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+func TestRoundTripAligned(t *testing.T) {
+	msg.Run(4, func(c *msg.Comm) {
+		e := New[int, string](c, 8, 16, func(src int, reqs []int) []string {
+			out := make([]string, len(reqs))
+			for i, r := range reqs {
+				out[i] = fmt.Sprintf("r%d:q%d:from%d", c.Rank(), r, src)
+			}
+			return out
+		})
+		// Every rank asks every rank (including itself) two questions.
+		for d := 0; d < c.Size(); d++ {
+			e.Post(d, 10*c.Rank()+d)
+			e.Post(d, 100+d)
+		}
+		reps := e.Round()
+		for d := 0; d < c.Size(); d++ {
+			want0 := fmt.Sprintf("r%d:q%d:from%d", d, 10*c.Rank()+d, c.Rank())
+			want1 := fmt.Sprintf("r%d:q%d:from%d", d, 100+d, c.Rank())
+			if len(reps[d]) != 2 || reps[d][0] != want0 || reps[d][1] != want1 {
+				t.Errorf("rank %d from %d: %v", c.Rank(), d, reps[d])
+			}
+		}
+	})
+}
+
+func TestEmptyRound(t *testing.T) {
+	// Ranks with nothing to ask must still serve.
+	msg.Run(3, func(c *msg.Comm) {
+		e := New[int, int](c, 8, 8, func(src int, reqs []int) []int {
+			out := make([]int, len(reqs))
+			for i, r := range reqs {
+				out[i] = r * r
+			}
+			return out
+		})
+		if c.Rank() == 0 {
+			e.Post(1, 7)
+			e.Post(2, 9)
+		}
+		reps := e.Round()
+		if c.Rank() == 0 {
+			if reps[1][0] != 49 || reps[2][0] != 81 {
+				t.Errorf("replies: %v", reps)
+			}
+		} else {
+			for _, r := range reps {
+				if len(r) != 0 {
+					t.Errorf("rank %d got unexpected replies %v", c.Rank(), r)
+				}
+			}
+		}
+	})
+}
+
+func TestMultiRoundConvergence(t *testing.T) {
+	// Chained requests: each reply spawns a follow-up until a depth
+	// limit, mimicking a tree walk fetching deeper levels.
+	var mu sync.Mutex
+	total := 0
+	msg.Run(4, func(c *msg.Comm) {
+		e := New[int, int](c, 8, 8, func(src int, reqs []int) []int {
+			out := make([]int, len(reqs))
+			for i, r := range reqs {
+				out[i] = r - 1
+			}
+			return out
+		})
+		depth := c.Rank() + 1 // ranks need different numbers of rounds
+		e.Post((c.Rank()+1)%c.Size(), depth)
+		got := 0
+		for e.AnyPendingGlobal(false) {
+			reps := e.Round()
+			for d := range reps {
+				for _, v := range reps[d] {
+					got++
+					if v > 0 {
+						e.Post(d, v)
+					}
+				}
+			}
+		}
+		mu.Lock()
+		total += got
+		mu.Unlock()
+	})
+	// Rank r posts depth r+1, generating r+1 replies: sum 1+2+3+4.
+	if total != 10 {
+		t.Fatalf("total replies %d, want 10", total)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	msg.Run(2, func(c *msg.Comm) {
+		e := New[int, int](c, 8, 8, func(src int, reqs []int) []int {
+			return make([]int, len(reqs))
+		})
+		if c.Rank() == 0 {
+			e.Post(1, 1)
+			e.Post(1, 2)
+			if !e.PendingLocal() {
+				t.Error("pending should be true after Post")
+			}
+		}
+		e.Round()
+		if e.PendingLocal() {
+			t.Error("pending should clear after Round")
+		}
+		if c.Rank() == 0 && e.Posted != 2 {
+			t.Errorf("Posted = %d", e.Posted)
+		}
+		if c.Rank() == 1 && e.Served != 2 {
+			t.Errorf("Served = %d", e.Served)
+		}
+		if e.Rounds != 1 {
+			t.Errorf("Rounds = %d", e.Rounds)
+		}
+	})
+}
+
+func TestHandlerArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity violation")
+		}
+	}()
+	msg.Run(1, func(c *msg.Comm) {
+		e := New[int, int](c, 8, 8, func(src int, reqs []int) []int {
+			return nil // wrong arity
+		})
+		e.Post(0, 1)
+		e.Round()
+	})
+}

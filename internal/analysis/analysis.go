@@ -1,0 +1,235 @@
+// Package analysis provides the post-processing the paper's science
+// case rests on: "Our ability to identify galaxies which can be
+// compared to observational results requires that each galaxy contain
+// hundreds or thousands of particles". It implements the standard
+// friends-of-friends halo finder (the community's galaxy/halo
+// identifier), halo mass functions, two-point clustering statistics,
+// and radial density profiles — all against the same hashed oct-tree
+// used for the dynamics, so neighbor searches stay O(N log N).
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/grav"
+	"repro/internal/keys"
+	"repro/internal/sph"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// Halo is one friends-of-friends group.
+type Halo struct {
+	// Members indexes the key-sorted system the finder ran over.
+	Members []int32
+	Mass    float64
+	Center  vec.V3 // center of mass
+	// R50 is the radius containing half the halo's mass.
+	R50 float64
+}
+
+// FOF links particles closer than the linking length b into groups
+// and returns all groups with at least minMembers particles, largest
+// first. The input system is key-sorted in place (a tree is built for
+// the neighbor searches).
+func FOF(sys *core.System, b float64, minMembers int) []Halo {
+	d := keys.NewDomain(sys.Pos)
+	sys.AssignKeys(d)
+	sys.SortByKey()
+	tr := tree.Build(sys, d, grav.MACParams{Kind: grav.MACBarnesHut, Theta: 0.7}, 16)
+
+	n := sys.Len()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(i int32) int32
+	find = func(i int32) int32 {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]] // path halving
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	var nb []int32
+	for i := 0; i < n; i++ {
+		nb = sph.Neighbors(tr, sys.Pos[i], b, nb)
+		for _, j := range nb {
+			if int(j) > i {
+				union(int32(i), j)
+			}
+		}
+	}
+
+	groups := make(map[int32][]int32)
+	for i := int32(0); i < int32(n); i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var halos []Halo
+	for _, members := range groups {
+		if len(members) < minMembers {
+			continue
+		}
+		halos = append(halos, newHalo(sys, members))
+	}
+	sort.Slice(halos, func(i, j int) bool {
+		if halos[i].Mass != halos[j].Mass {
+			return halos[i].Mass > halos[j].Mass
+		}
+		// Deterministic tie-break on the first member index.
+		return halos[i].Members[0] < halos[j].Members[0]
+	})
+	return halos
+}
+
+func newHalo(sys *core.System, members []int32) Halo {
+	sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+	h := Halo{Members: members}
+	for _, i := range members {
+		h.Mass += sys.Mass[i]
+		h.Center = h.Center.Add(sys.Pos[i].Scale(sys.Mass[i]))
+	}
+	h.Center = h.Center.Scale(1 / h.Mass)
+	// Half-mass radius.
+	type rm struct{ r, m float64 }
+	rs := make([]rm, len(members))
+	for k, i := range members {
+		rs[k] = rm{sys.Pos[i].Sub(h.Center).Norm(), sys.Mass[i]}
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].r < rs[b].r })
+	var acc float64
+	for _, p := range rs {
+		acc += p.m
+		if acc >= h.Mass/2 {
+			h.R50 = p.r
+			break
+		}
+	}
+	return h
+}
+
+// MassFunction bins halo masses logarithmically into nBins between
+// the smallest and largest halo, returning bin centers and counts.
+func MassFunction(halos []Halo, nBins int) (mass []float64, count []int) {
+	if len(halos) == 0 || nBins < 1 {
+		return nil, nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, h := range halos {
+		lo = math.Min(lo, h.Mass)
+		hi = math.Max(hi, h.Mass)
+	}
+	if hi <= lo {
+		return []float64{lo}, []int{len(halos)}
+	}
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	mass = make([]float64, nBins)
+	count = make([]int, nBins)
+	for b := 0; b < nBins; b++ {
+		mass[b] = math.Pow(10, llo+(float64(b)+0.5)*(lhi-llo)/float64(nBins))
+	}
+	for _, h := range halos {
+		b := int((math.Log10(h.Mass) - llo) / (lhi - llo) * float64(nBins))
+		if b >= nBins {
+			b = nBins - 1
+		}
+		count[b]++
+	}
+	return mass, count
+}
+
+// TwoPointCorrelation estimates xi(r) on logarithmic radial bins in
+// [rMin, rMax] by tree-accelerated pair counting against the mean
+// density of the bounding sphere of the data. Returns bin centers and
+// xi estimates (DD/RR_analytic - 1).
+func TwoPointCorrelation(sys *core.System, rMin, rMax float64, nBins int) (r, xi []float64) {
+	d := keys.NewDomain(sys.Pos)
+	sys.AssignKeys(d)
+	sys.SortByKey()
+	tr := tree.Build(sys, d, grav.MACParams{Kind: grav.MACBarnesHut, Theta: 0.7}, 16)
+
+	n := sys.Len()
+	// Pair counts per bin via neighbor search at rMax.
+	counts := make([]float64, nBins)
+	logMin, logMax := math.Log10(rMin), math.Log10(rMax)
+	var nb []int32
+	for i := 0; i < n; i++ {
+		nb = sph.Neighbors(tr, sys.Pos[i], rMax, nb)
+		for _, j := range nb {
+			if int(j) <= i {
+				continue
+			}
+			dist := sys.Pos[j].Sub(sys.Pos[i]).Norm()
+			if dist < rMin {
+				continue
+			}
+			b := int((math.Log10(dist) - logMin) / (logMax - logMin) * float64(nBins))
+			if b < 0 || b >= nBins {
+				continue
+			}
+			counts[b]++
+		}
+	}
+	// Analytic RR for a uniform sphere of the same bounding radius:
+	// expected pairs in shell [r1,r2) = N(N-1)/2 * Vshell/Vtotal,
+	// ignoring edge corrections (adequate for shape comparisons).
+	center, _ := tree.GroupSphere(sys.Pos)
+	var rad float64
+	for i := range sys.Pos {
+		if v := sys.Pos[i].Sub(center).Norm(); v > rad {
+			rad = v
+		}
+	}
+	vTot := 4.0 / 3.0 * math.Pi * rad * rad * rad
+	pairs := float64(n) * float64(n-1) / 2
+	r = make([]float64, nBins)
+	xi = make([]float64, nBins)
+	for b := 0; b < nBins; b++ {
+		r1 := math.Pow(10, logMin+float64(b)*(logMax-logMin)/float64(nBins))
+		r2 := math.Pow(10, logMin+float64(b+1)*(logMax-logMin)/float64(nBins))
+		r[b] = math.Sqrt(r1 * r2)
+		vShell := 4.0 / 3.0 * math.Pi * (r2*r2*r2 - r1*r1*r1)
+		rr := pairs * vShell / vTot
+		if rr > 0 {
+			xi[b] = counts[b]/rr - 1
+		}
+	}
+	return r, xi
+}
+
+// RadialProfile returns the spherically averaged density profile
+// about center in nBins logarithmic shells spanning [rMin, rMax].
+func RadialProfile(sys *core.System, center vec.V3, rMin, rMax float64, nBins int) (r, rho []float64) {
+	logMin, logMax := math.Log10(rMin), math.Log10(rMax)
+	mass := make([]float64, nBins)
+	for i := 0; i < sys.Len(); i++ {
+		dist := sys.Pos[i].Sub(center).Norm()
+		if dist < rMin || dist >= rMax {
+			continue
+		}
+		b := int((math.Log10(dist) - logMin) / (logMax - logMin) * float64(nBins))
+		if b >= 0 && b < nBins {
+			mass[b] += sys.Mass[i]
+		}
+	}
+	r = make([]float64, nBins)
+	rho = make([]float64, nBins)
+	for b := 0; b < nBins; b++ {
+		r1 := math.Pow(10, logMin+float64(b)*(logMax-logMin)/float64(nBins))
+		r2 := math.Pow(10, logMin+float64(b+1)*(logMax-logMin)/float64(nBins))
+		r[b] = math.Sqrt(r1 * r2)
+		v := 4.0 / 3.0 * math.Pi * (r2*r2*r2 - r1*r1*r1)
+		rho[b] = mass[b] / v
+	}
+	return r, rho
+}

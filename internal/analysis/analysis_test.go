@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ic"
+	"repro/internal/vec"
+)
+
+// twoClumps builds two well-separated Gaussian clumps plus sparse
+// background noise.
+func twoClumps(nClump, nNoise int, seed int64) *core.System {
+	rng := rand.New(rand.NewSource(seed))
+	sys := core.New(2*nClump + nNoise)
+	sys.EnableDynamics()
+	i := 0
+	put := func(c vec.V3, s float64) {
+		sys.Pos[i] = c.Add(vec.V3{X: s * rng.NormFloat64(), Y: s * rng.NormFloat64(), Z: s * rng.NormFloat64()})
+		sys.Mass[i] = 1
+		i++
+	}
+	for k := 0; k < nClump; k++ {
+		put(vec.V3{X: -2}, 0.05)
+	}
+	for k := 0; k < nClump; k++ {
+		put(vec.V3{X: 2}, 0.05)
+	}
+	for k := 0; k < nNoise; k++ {
+		sys.Pos[i] = vec.V3{X: 8 * (rng.Float64() - 0.5), Y: 8 * (rng.Float64() - 0.5), Z: 8 * (rng.Float64() - 0.5)}
+		sys.Mass[i] = 1
+		i++
+	}
+	return sys
+}
+
+func TestFOFFindsTwoClumps(t *testing.T) {
+	sys := twoClumps(300, 50, 1)
+	halos := FOF(sys, 0.1, 50)
+	if len(halos) != 2 {
+		t.Fatalf("found %d halos, want 2", len(halos))
+	}
+	for _, h := range halos {
+		if len(h.Members) < 250 || len(h.Members) > 320 {
+			t.Fatalf("halo membership %d implausible", len(h.Members))
+		}
+		if math.Abs(math.Abs(h.Center.X)-2) > 0.1 || math.Abs(h.Center.Y) > 0.1 {
+			t.Fatalf("halo center %v not at a clump", h.Center)
+		}
+		if h.R50 <= 0 || h.R50 > 0.2 {
+			t.Fatalf("half-mass radius %v", h.R50)
+		}
+	}
+	// Largest first ordering.
+	if halos[0].Mass < halos[1].Mass {
+		t.Fatal("halos not sorted by mass")
+	}
+}
+
+func TestFOFLinkingLengthControlsMerging(t *testing.T) {
+	sys := twoClumps(200, 0, 2)
+	// Huge linking length merges both clumps into one group.
+	merged := FOF(sys, 10, 50)
+	if len(merged) != 1 {
+		t.Fatalf("b=10 gave %d halos, want 1", len(merged))
+	}
+	if len(merged[0].Members) != sys.Len() {
+		t.Fatalf("merged halo holds %d of %d", len(merged[0].Members), sys.Len())
+	}
+	// Tiny linking length finds nothing above the threshold.
+	none := FOF(sys, 1e-6, 50)
+	if len(none) != 0 {
+		t.Fatalf("b=1e-6 gave %d halos", len(none))
+	}
+}
+
+func TestFOFDeterminism(t *testing.T) {
+	a := FOF(twoClumps(150, 30, 3), 0.1, 20)
+	b := FOF(twoClumps(150, 30, 3), 0.1, 20)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic halo count")
+	}
+	for i := range a {
+		if a[i].Mass != b[i].Mass || a[i].Center != b[i].Center {
+			t.Fatalf("halo %d differs between runs", i)
+		}
+	}
+}
+
+func TestMassFunction(t *testing.T) {
+	halos := []Halo{{Mass: 1}, {Mass: 10}, {Mass: 11}, {Mass: 100}}
+	mass, count := MassFunction(halos, 3)
+	if len(mass) != 3 || len(count) != 3 {
+		t.Fatal("bin count")
+	}
+	total := 0
+	for _, c := range count {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("counts sum to %d", total)
+	}
+	// Bin centers increase.
+	if !(mass[0] < mass[1] && mass[1] < mass[2]) {
+		t.Fatalf("bin centers not increasing: %v", mass)
+	}
+	// Degenerate cases.
+	if m, c := MassFunction(nil, 3); m != nil || c != nil {
+		t.Fatal("empty halos")
+	}
+	if m, c := MassFunction([]Halo{{Mass: 5}, {Mass: 5}}, 3); len(m) != 1 || c[0] != 2 {
+		t.Fatal("identical masses")
+	}
+}
+
+func TestTwoPointCorrelationClusteredVsUniform(t *testing.T) {
+	// A clustered set must show xi >> 0 at small r; a uniform sphere
+	// xi ~ 0 at all r.
+	clustered := twoClumps(400, 100, 4)
+	rr, xi := TwoPointCorrelation(clustered, 0.02, 2.0, 8)
+	if len(rr) != 8 {
+		t.Fatal("bins")
+	}
+	if xi[0] < 10 {
+		t.Fatalf("clustered xi(small r) = %v, want large", xi[0])
+	}
+
+	uni := ic.UniformSphere(3000, 1.0, 5)
+	_, xiU := TwoPointCorrelation(uni, 0.05, 0.5, 6)
+	for b, v := range xiU {
+		if math.Abs(v) > 0.5 {
+			t.Fatalf("uniform xi[%d] = %v, want ~0", b, v)
+		}
+	}
+}
+
+func TestRadialProfileUniformSphere(t *testing.T) {
+	sys := ic.UniformSphere(20000, 1.0, 6)
+	r, rho := RadialProfile(sys, vec.V3{}, 0.1, 1.0, 5)
+	// Uniform density: all bins within sampling noise of 3/(4 pi).
+	want := 1.0 / (4.0 / 3.0 * math.Pi)
+	for b := range r {
+		if math.Abs(rho[b]-want)/want > 0.15 {
+			t.Fatalf("bin %d (r=%.2f): rho %v, want %v", b, r[b], rho[b], want)
+		}
+	}
+}
+
+func TestRadialProfilePlummer(t *testing.T) {
+	sys := ic.Plummer(20000, 1.0, 7)
+	r, rho := RadialProfile(sys, vec.V3{}, 0.2, 5.0, 6)
+	// Monotone decreasing, and the outer slope approaches r^-5.
+	for b := 1; b < len(r); b++ {
+		if rho[b] >= rho[b-1] {
+			t.Fatalf("profile not decreasing at bin %d", b)
+		}
+	}
+	slope := math.Log(rho[5]/rho[4]) / math.Log(r[5]/r[4])
+	if slope > -2.5 || slope < -7 {
+		t.Fatalf("outer Plummer slope %v, want ~-5", slope)
+	}
+}

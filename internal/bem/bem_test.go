@@ -1,0 +1,166 @@
+package bem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestIcosphereGeometry(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		m := Icosphere(n)
+		if err := m.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantTris := 20
+		for i := 0; i < n; i++ {
+			wantTris *= 4
+		}
+		if len(m.Tris) != wantTris {
+			t.Fatalf("n=%d: %d triangles, want %d", n, len(m.Tris), wantTris)
+		}
+		// Vertices on the unit sphere.
+		for _, v := range m.Verts {
+			if math.Abs(v.Norm()-1) > 1e-12 {
+				t.Fatalf("n=%d: vertex off sphere: %v", n, v)
+			}
+		}
+		// Total area approaches 4 pi from below as n grows.
+		area := m.TotalArea()
+		if area >= 4*math.Pi {
+			t.Fatalf("n=%d: inscribed area %v >= sphere area", n, area)
+		}
+		if n >= 2 && area < 4*math.Pi*0.97 {
+			t.Fatalf("n=%d: area %v too far from 4pi", n, area)
+		}
+		// Outward normals.
+		for i, p := range m.Panels {
+			if p.Normal.Dot(p.Centroid) <= 0 {
+				t.Fatalf("n=%d: panel %d normal points inward", n, i)
+			}
+		}
+	}
+}
+
+func TestSphereFlowMatchesAnalytic(t *testing.T) {
+	m := Icosphere(3) // 1280 panels
+	f := NewFlow(m, vec.V3{X: 1})
+	if err := f.Solve(1e-8, 200, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Residual > 1e-8 {
+		t.Fatalf("residual %g", f.Residual)
+	}
+	ut := f.SurfaceVelocity(false, 0)
+	var num, den float64
+	maxSpeed := 0.0
+	for i, p := range m.Panels {
+		want := SphereAnalyticSpeed(p.Centroid.X / p.Centroid.Norm())
+		num += (ut[i] - want) * (ut[i] - want)
+		den += want*want + 1e-12
+		if ut[i] > maxSpeed {
+			maxSpeed = ut[i]
+		}
+	}
+	if rel := math.Sqrt(num / den); rel > 0.05 {
+		t.Fatalf("surface speed RMS error %.3f vs analytic 1.5 sin(theta)", rel)
+	}
+	// The classic 3/2 maximum at the equator.
+	if math.Abs(maxSpeed-1.5) > 0.08 {
+		t.Fatalf("max surface speed %v, potential theory says 1.5", maxSpeed)
+	}
+	// Stagnation pressure at the nose: Cp -> 1.
+	cp := f.PressureCoefficient(false, 0)
+	bestNose := -2.0
+	for i, p := range m.Panels {
+		if p.Centroid.X > 0.97 && cp[i] > bestNose {
+			bestNose = cp[i]
+		}
+	}
+	if bestNose < 0.8 {
+		t.Fatalf("nose Cp %v, want -> 1", bestNose)
+	}
+}
+
+func TestTreeAcceleratedMatvecMatchesDirect(t *testing.T) {
+	m := Icosphere(2)
+	f := NewFlow(m, vec.V3{X: 1})
+	if err := f.Solve(1e-8, 200, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := len(m.Panels)
+	direct := make([]vec.V3, n)
+	treed := make([]vec.V3, n)
+	f.inducedVelocities(direct, false, 0)
+	f.inducedVelocities(treed, true, 0.3)
+	var rms float64
+	for i := range direct {
+		rms += direct[i].Norm2()
+	}
+	rms = math.Sqrt(rms / float64(n))
+	for i := range direct {
+		if d := treed[i].Sub(direct[i]).Norm() / rms; d > 0.05 {
+			t.Fatalf("panel %d: tree matvec deviates %g of RMS", i, d)
+		}
+	}
+	if f.Counters.PP == 0 {
+		t.Fatal("no interactions counted")
+	}
+}
+
+func TestSolveWithTree(t *testing.T) {
+	m := Icosphere(2)
+	f := NewFlow(m, vec.V3{Z: 1})
+	if err := f.Solve(1e-6, 300, true, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	// Flow along z: max speed near the z-equator.
+	ut := f.SurfaceVelocity(true, 0.3)
+	maxSpeed := 0.0
+	for _, v := range ut {
+		if v > maxSpeed {
+			maxSpeed = v
+		}
+	}
+	if math.Abs(maxSpeed-1.5) > 0.15 {
+		t.Fatalf("tree-solved max speed %v", maxSpeed)
+	}
+}
+
+func TestSolveDivergesGracefully(t *testing.T) {
+	m := Icosphere(1)
+	f := NewFlow(m, vec.V3{X: 1})
+	if err := f.Solve(1e-30, 2, false, 0); err == nil {
+		t.Fatal("impossible tolerance should return an error")
+	}
+}
+
+func TestAnalyticSpeedEdges(t *testing.T) {
+	if SphereAnalyticSpeed(1) != 0 || SphereAnalyticSpeed(-1) != 0 {
+		t.Fatal("stagnation points must have zero speed")
+	}
+	if math.Abs(SphereAnalyticSpeed(0)-1.5) > 1e-12 {
+		t.Fatal("equator speed must be 1.5")
+	}
+}
+
+func BenchmarkBEMSolveDirect(b *testing.B) {
+	m := Icosphere(2)
+	for i := 0; i < b.N; i++ {
+		f := NewFlow(m, vec.V3{X: 1})
+		if err := f.Solve(1e-6, 200, false, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBEMSolveTree(b *testing.B) {
+	m := Icosphere(2)
+	for i := 0; i < b.N; i++ {
+		f := NewFlow(m, vec.V3{X: 1})
+		if err := f.Solve(1e-6, 200, true, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package bem implements the boundary element (panel) method for
+// potential flow, the fourth physics module the paper lists atop the
+// treecode library ("boundary integral methods", citing Winckelmans,
+// Salmon, Warren & Leonard's parallel BEM). Constant-strength source
+// panels on a closed surface enforce the no-penetration condition for
+// an exterior flow; the induced-velocity sums that dominate the solve
+// run either directly or through the same hashed oct-tree as gravity
+// (the panels' far field is a point source, i.e. a gravity monopole
+// up to sign).
+package bem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Panel is one constant-strength source panel.
+type Panel struct {
+	Centroid vec.V3
+	Normal   vec.V3 // unit outward normal
+	Area     float64
+}
+
+// Mesh is a closed triangulated surface.
+type Mesh struct {
+	Verts  []vec.V3
+	Tris   [][3]int32
+	Panels []Panel
+}
+
+// Icosphere builds a unit-sphere triangulation by subdividing an
+// icosahedron n times (20*4^n triangles) and projecting onto the
+// sphere. Panels are computed with outward normals.
+func Icosphere(n int) *Mesh {
+	phi := (1 + math.Sqrt(5)) / 2
+	raw := []vec.V3{
+		{X: -1, Y: phi}, {X: 1, Y: phi}, {X: -1, Y: -phi}, {X: 1, Y: -phi},
+		{Y: -1, Z: phi}, {Y: 1, Z: phi}, {Y: -1, Z: -phi}, {Y: 1, Z: -phi},
+		{Z: -1, X: phi}, {Z: 1, X: phi}, {Z: -1, X: -phi}, {Z: 1, X: -phi},
+	}
+	m := &Mesh{}
+	for _, v := range raw {
+		m.Verts = append(m.Verts, v.Scale(1/v.Norm()))
+	}
+	m.Tris = [][3]int32{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	for i := 0; i < n; i++ {
+		m.subdivide()
+	}
+	m.buildPanels()
+	return m
+}
+
+// subdivide splits every triangle into four, reusing midpoint
+// vertices, and reprojects onto the unit sphere.
+func (m *Mesh) subdivide() {
+	type edge struct{ a, b int32 }
+	mid := map[edge]int32{}
+	midpoint := func(a, b int32) int32 {
+		if a > b {
+			a, b = b, a
+		}
+		if v, ok := mid[edge{a, b}]; ok {
+			return v
+		}
+		p := m.Verts[a].Add(m.Verts[b]).Scale(0.5)
+		p = p.Scale(1 / p.Norm())
+		m.Verts = append(m.Verts, p)
+		id := int32(len(m.Verts) - 1)
+		mid[edge{a, b}] = id
+		return id
+	}
+	var out [][3]int32
+	for _, t := range m.Tris {
+		ab := midpoint(t[0], t[1])
+		bc := midpoint(t[1], t[2])
+		ca := midpoint(t[2], t[0])
+		out = append(out,
+			[3]int32{t[0], ab, ca},
+			[3]int32{t[1], bc, ab},
+			[3]int32{t[2], ca, bc},
+			[3]int32{ab, bc, ca},
+		)
+	}
+	m.Tris = out
+}
+
+// buildPanels computes centroids, areas and outward normals.
+func (m *Mesh) buildPanels() {
+	m.Panels = make([]Panel, len(m.Tris))
+	for i, t := range m.Tris {
+		a, b, c := m.Verts[t[0]], m.Verts[t[1]], m.Verts[t[2]]
+		cen := a.Add(b).Add(c).Scale(1.0 / 3.0)
+		cr := b.Sub(a).Cross(c.Sub(a))
+		area := 0.5 * cr.Norm()
+		n := cr.Scale(1 / cr.Norm())
+		// Outward: for a star-shaped surface about the origin the
+		// normal points along the centroid direction.
+		if n.Dot(cen) < 0 {
+			n = n.Neg()
+		}
+		m.Panels[i] = Panel{Centroid: cen, Normal: n, Area: area}
+	}
+}
+
+// TotalArea sums the panel areas.
+func (m *Mesh) TotalArea() float64 {
+	var s float64
+	for _, p := range m.Panels {
+		s += p.Area
+	}
+	return s
+}
+
+// EulerCharacteristic returns V - E + F (2 for a sphere).
+func (m *Mesh) EulerCharacteristic() int {
+	type edge struct{ a, b int32 }
+	edges := map[edge]bool{}
+	for _, t := range m.Tris {
+		for k := 0; k < 3; k++ {
+			a, b := t[k], t[(k+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			edges[edge{a, b}] = true
+		}
+	}
+	return len(m.Verts) - len(edges) + len(m.Tris)
+}
+
+// Check validates closedness heuristics, returning a descriptive
+// error on failure.
+func (m *Mesh) Check() error {
+	if chi := m.EulerCharacteristic(); chi != 2 {
+		return fmt.Errorf("bem: Euler characteristic %d, want 2", chi)
+	}
+	for i, p := range m.Panels {
+		if p.Area <= 0 {
+			return fmt.Errorf("bem: panel %d has area %g", i, p.Area)
+		}
+		if math.Abs(p.Normal.Norm()-1) > 1e-12 {
+			return fmt.Errorf("bem: panel %d normal not unit", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package cosmo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/direct"
+	"repro/internal/fft"
+	"repro/internal/integrate"
+	"repro/internal/vec"
+)
+
+func TestBBKSLimits(t *testing.T) {
+	if BBKS(0) != 1 {
+		t.Fatal("T(0) != 1")
+	}
+	if v := BBKS(1e-6); math.Abs(v-1) > 1e-3 {
+		t.Fatalf("T(q->0) = %v", v)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for q := 0.01; q < 100; q *= 2 {
+		v := BBKS(q)
+		if v >= prev {
+			t.Fatalf("T not decreasing at q=%v", q)
+		}
+		prev = v
+	}
+	// Small-scale suppression.
+	if BBKS(100) > 1e-3 {
+		t.Fatalf("T(100) = %v, want strong suppression", BBKS(100))
+	}
+}
+
+func TestPowerSpectrumShape(t *testing.T) {
+	// P(k) rises as ~k at large scales, turns over, falls at small
+	// scales: the CDM peak.
+	gamma := 0.2
+	kPeak, pPeak := 0.0, 0.0
+	prevP := 0.0
+	rising := false
+	for k := 1e-3; k < 100; k *= 1.1 {
+		p := PowerSpectrum(k, gamma)
+		if p > pPeak {
+			kPeak, pPeak = k, p
+		}
+		if p > prevP {
+			rising = true
+		}
+		prevP = p
+	}
+	if !rising {
+		t.Fatal("spectrum never rises")
+	}
+	if kPeak < 1e-3*1.1 || kPeak > 50 {
+		t.Fatalf("peak at k=%v implausible", kPeak)
+	}
+	if PowerSpectrum(0, gamma) != 0 || PowerSpectrum(-1, gamma) != 0 {
+		t.Fatal("P(k<=0) must be 0")
+	}
+}
+
+func TestRealizationRMS(t *testing.T) {
+	p := Params{Grid: 16, Box: 100, DeltaRMS: 0.25, ShapeGamma: 0.05, Seed: 1}
+	r, err := NewRealization(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ss, mean float64
+	for _, v := range r.Delta {
+		ss += v * v
+		mean += v
+	}
+	n := float64(len(r.Delta))
+	rms := math.Sqrt(ss / n)
+	if math.Abs(rms-0.25) > 1e-10 {
+		t.Fatalf("delta RMS = %v, want 0.25", rms)
+	}
+	if math.Abs(mean/n) > 0.05 {
+		t.Fatalf("delta mean = %v, want ~0", mean/n)
+	}
+}
+
+func TestRealizationGridValidation(t *testing.T) {
+	if _, err := NewRealization(Params{Grid: 12, Box: 1, DeltaRMS: 0.1, ShapeGamma: 1}); err == nil {
+		t.Fatal("non power-of-two grid should fail")
+	}
+}
+
+// The defining Zel'dovich property: div(psi) = -delta. Verified
+// spectrally (exact for the band-limited field): FFT each psi
+// component, assemble i k . psi(k), compare to -delta(k).
+func TestZeldovichDivergence(t *testing.T) {
+	p := Params{Grid: 16, Box: 50, DeltaRMS: 0.2, ShapeGamma: 0.1, Seed: 2}
+	r, err := NewRealization(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.N
+	kf := 2 * math.Pi / r.Box
+	var psiK [3][]complex128
+	for j := 0; j < 3; j++ {
+		g, _ := fft.NewGrid3(n)
+		for i, v := range r.Psi[j] {
+			g.Data[i] = complex(v, 0)
+		}
+		g.Forward3()
+		psiK[j] = g.Data
+	}
+	gd, _ := fft.NewGrid3(n)
+	for i, v := range r.Delta {
+		gd.Data[i] = complex(v, 0)
+	}
+	gd.Forward3()
+
+	var num, den float64
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if x == 0 && y == 0 && z == 0 {
+					continue // zero mode carries no displacement
+				}
+				kx := float64(fft.FreqIndex(x, n)) * kf
+				ky := float64(fft.FreqIndex(y, n)) * kf
+				kz := float64(fft.FreqIndex(z, n)) * kf
+				idx := (z*n+y)*n + x
+				div := complex(0, kx)*psiK[0][idx] + complex(0, ky)*psiK[1][idx] + complex(0, kz)*psiK[2][idx]
+				res := div + gd.Data[idx]
+				num += real(res)*real(res) + imag(res)*imag(res)
+				d := gd.Data[idx]
+				den += real(d)*real(d) + imag(d)*imag(d)
+			}
+		}
+	}
+	if rel := math.Sqrt(num / den); rel > 1e-9 {
+		t.Fatalf("spectral div(psi) vs -delta relative residual %v", rel)
+	}
+}
+
+func TestICsBulkProperties(t *testing.T) {
+	p := Params{Grid: 8, Box: 10, DeltaRMS: 0.1, ShapeGamma: 0.5, Seed: 3}
+	r, _ := NewRealization(p)
+	sys, h0 := r.ICs()
+	if sys.Len() != 8*8*8 {
+		t.Fatalf("N = %d", sys.Len())
+	}
+	if math.Abs(sys.TotalMass()-1) > 1e-12 {
+		t.Fatalf("total mass %v", sys.TotalMass())
+	}
+	if h0 <= 0 {
+		t.Fatal("H0 must be positive")
+	}
+	// Velocities dominated by Hubble flow: radially outward on
+	// average (positive v.r correlation).
+	var corr float64
+	for i := range sys.Pos {
+		corr += sys.Vel[i].Dot(sys.Pos[i])
+	}
+	if corr <= 0 {
+		t.Fatal("no net expansion in ICs")
+	}
+	// EdS check: H0^2 = 8 pi rhobar / 3 within the box volume.
+	rhobar := 1.0 / (p.Box * p.Box * p.Box)
+	if math.Abs(h0*h0-8*math.Pi*rhobar/3) > 1e-12 {
+		t.Fatalf("H0 not EdS: %v", h0)
+	}
+}
+
+func TestSphereWithBuffer(t *testing.T) {
+	p := Params{Grid: 16, Box: 10, DeltaRMS: 0.05, ShapeGamma: 0.5, Seed: 4}
+	r, _ := NewRealization(p)
+	sys, _ := r.ICs()
+	totalBefore := sys.TotalMass()
+	sph := SphereWithBuffer(sys, vec.V3{}, 2.0, 4.0)
+	if sph.Len() == 0 || sph.Len() >= sys.Len() {
+		t.Fatalf("sphere has %d of %d bodies", sph.Len(), sys.Len())
+	}
+	mFine := 1.0 / float64(sys.Len())
+	var massHigh, massBuf float64
+	for i := 0; i < sph.Len(); i++ {
+		d := sph.Pos[i].Norm()
+		if d > 4.0+1e-9 {
+			t.Fatalf("body beyond buffer radius: %v", d)
+		}
+		if d <= 2.0 {
+			if math.Abs(sph.Mass[i]-mFine) > 1e-15 {
+				t.Fatalf("high-res body has mass %v", sph.Mass[i])
+			}
+			massHigh += sph.Mass[i]
+		} else {
+			if math.Abs(sph.Mass[i]-8*mFine) > 1e-15 {
+				t.Fatalf("buffer body has mass %v, want 8x", sph.Mass[i])
+			}
+			massBuf += sph.Mass[i]
+		}
+	}
+	// Buffer mass should approximate the shell's share of the mean
+	// density: volume ratio (4^3 - 2^3)/2^3 = 7 of the high-res mass.
+	if ratio := massBuf / massHigh; ratio < 3 || ratio > 14 {
+		t.Fatalf("buffer/high mass ratio %v implausible", ratio)
+	}
+	_ = totalBefore
+	// IDs renumbered contiguously.
+	for i := range sph.ID {
+		if sph.ID[i] != int64(i) {
+			t.Fatal("IDs not renumbered")
+		}
+	}
+}
+
+func TestMeasurePowerRecoversShape(t *testing.T) {
+	// The measured band power of a realization should correlate with
+	// the input spectrum: rising then falling around the same peak.
+	p := Params{Grid: 32, Box: 100, DeltaRMS: 0.2, ShapeGamma: 0.15, Seed: 5}
+	r, _ := NewRealization(p)
+	ks, pow := MeasurePower(r.Delta, r.N, r.Box, 8)
+	// Compare the correlation between measured and model power over
+	// populated bins.
+	var dot, mm, pp float64
+	for b := range ks {
+		if pow[b] == 0 {
+			continue
+		}
+		model := PowerSpectrum(ks[b], p.ShapeGamma)
+		dot += model * pow[b]
+		mm += model * model
+		pp += pow[b] * pow[b]
+	}
+	if corr := dot / math.Sqrt(mm*pp); corr < 0.7 {
+		t.Fatalf("measured spectrum correlates %v with model", corr)
+	}
+}
+
+// The substitution check for the whole cosmology strategy: a uniform
+// sphere with pure Hubble-flow velocities at exactly critical density
+// must expand self-similarly following the Einstein-de Sitter solution
+// a(t) = (1 + 3/2 H0 t)^(2/3) -- Newtonian Birkhoff in action. Run it
+// with the direct solver (no tree error) and compare the radius
+// evolution against the analytic curve.
+func TestEdSExpansionMatchesAnalytic(t *testing.T) {
+	const n = 1500
+	rng := rand.New(rand.NewSource(42))
+	sys := core.New(n)
+	sys.EnableDynamics()
+	const r0 = 1.0
+	for i := 0; i < n; i++ {
+		// Uniform in the sphere.
+		for {
+			p := vec.V3{X: 2*rng.Float64() - 1, Y: 2*rng.Float64() - 1, Z: 2*rng.Float64() - 1}
+			if p.Norm2() <= 1 {
+				sys.Pos[i] = p.Scale(r0)
+				break
+			}
+		}
+		sys.Mass[i] = 1.0 / float64(n)
+	}
+	// Critical density: H0^2 = 8 pi G rho / 3 = 2 G M / r0^3 (G=M=r0=1).
+	h0 := math.Sqrt(2.0)
+	for i := 0; i < n; i++ {
+		sys.Vel[i] = sys.Pos[i].Scale(h0)
+	}
+
+	forces := func(s *core.System) {
+		direct.Serial(s.Pos, s.Mass, s.Acc, s.Pot, 1e-4)
+	}
+	forces(sys)
+
+	meanR := func() float64 {
+		var r float64
+		for i := 0; i < n; i++ {
+			r += sys.Pos[i].Norm()
+		}
+		return r / float64(n)
+	}
+	r0mean := meanR()
+
+	const dt = 4e-3
+	const steps = 200
+	integrate.Leapfrog(sys, forces, dt, steps)
+	tEnd := float64(steps) * dt
+	// EdS scale factor from a=1 at t=0: a(t) = (1 + 1.5 H0 t)^(2/3).
+	want := math.Pow(1+1.5*h0*tEnd, 2.0/3.0)
+	got := meanR() / r0mean
+	if rel := math.Abs(got-want) / want; rel > 0.03 {
+		t.Fatalf("EdS expansion: mean radius grew %.4fx, analytic %.4fx (rel %.3f)", got, want, rel)
+	}
+}

@@ -1,0 +1,168 @@
+// Package diag provides the internal diagnostics the paper's
+// performance claims rest on: exact interaction counters (the flop
+// rates "follow from the interaction counts and the elapsed
+// wall-clock time"), per-phase timers, and load-balance statistics
+// across processors.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Counters tallies the work done by one processor during a force
+// evaluation. The paper charges 38 flops per interaction (both
+// body-body and body-cell count as one interaction at monopole order;
+// quadrupole terms are charged separately).
+type Counters struct {
+	PP         uint64 // body-body interactions
+	PC         uint64 // body-cell (multipole) interactions
+	QuadPC     uint64 // of PC, how many included quadrupole terms
+	CellsBuilt uint64 // tree cells constructed
+	Traversals uint64 // tree-walk node visits (non-flop work)
+	Deferred   uint64 // bodies context-switched waiting on remote data
+	Requests   uint64 // remote cell requests issued
+	VortexPP   uint64 // vortex body-body interactions
+	SPHPairs   uint64 // SPH neighbor pairs evaluated
+}
+
+// Paper flop-accounting constants.
+const (
+	FlopsPerInteraction     = 38  // gravitational monopole, Karp rsqrt
+	FlopsPerQuadrupole      = 70  // additional cost of the quadrupole term
+	FlopsPerVortexInteract  = 168 // regularized Biot-Savart + stretching
+	FlopsPerSPHPair         = 55  // density + pressure force pair
+	BytesPerInteractionRead = 32  // the paper's computational intensity figure
+)
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.PP += other.PP
+	c.PC += other.PC
+	c.QuadPC += other.QuadPC
+	c.CellsBuilt += other.CellsBuilt
+	c.Traversals += other.Traversals
+	c.Deferred += other.Deferred
+	c.Requests += other.Requests
+	c.VortexPP += other.VortexPP
+	c.SPHPairs += other.SPHPairs
+}
+
+// Interactions returns the paper's headline interaction count.
+func (c *Counters) Interactions() uint64 { return c.PP + c.PC }
+
+// Flops returns the floating point operation count under the paper's
+// accounting: 38 per interaction, plus the quadrupole and
+// application-kernel surcharges.
+func (c *Counters) Flops() uint64 {
+	return (c.PP+c.PC)*FlopsPerInteraction +
+		c.QuadPC*FlopsPerQuadrupole +
+		c.VortexPP*FlopsPerVortexInteract +
+		c.SPHPairs*FlopsPerSPHPair
+}
+
+// Timer accumulates wall-clock time per named phase.
+type Timer struct {
+	phases map[string]time.Duration
+	order  []string
+	cur    string
+	start  time.Time
+}
+
+// NewTimer returns an empty phase timer.
+func NewTimer() *Timer {
+	return &Timer{phases: make(map[string]time.Duration)}
+}
+
+// Start begins (or resumes) a phase, ending any current one.
+func (t *Timer) Start(phase string) {
+	t.Stop()
+	t.cur = phase
+	t.start = time.Now()
+}
+
+// Stop ends the current phase.
+func (t *Timer) Stop() {
+	if t.cur == "" {
+		return
+	}
+	if _, ok := t.phases[t.cur]; !ok {
+		t.order = append(t.order, t.cur)
+	}
+	t.phases[t.cur] += time.Since(t.start)
+	t.cur = ""
+}
+
+// Get returns the accumulated time of a phase.
+func (t *Timer) Get(phase string) time.Duration { return t.phases[phase] }
+
+// Total returns the sum over all phases.
+func (t *Timer) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.phases {
+		sum += d
+	}
+	return sum
+}
+
+// String renders phases in first-start order.
+func (t *Timer) String() string {
+	s := ""
+	for _, p := range t.order {
+		s += fmt.Sprintf("%-16s %v\n", p, t.phases[p])
+	}
+	return s
+}
+
+// Balance summarizes a per-processor quantity: the load-balance
+// statistics the paper cites as the hard part of clustered N-body
+// work.
+type Balance struct {
+	Min, Max, Mean, Median float64
+	// Efficiency is Mean/Max: the fraction of ideal speedup retained
+	// under this imbalance.
+	Efficiency float64
+}
+
+// BalanceOf computes balance statistics over per-rank values.
+func BalanceOf(vals []float64) Balance {
+	if len(vals) == 0 {
+		return Balance{}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	b := Balance{
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		Median: sorted[len(sorted)/2],
+	}
+	if b.Max > 0 {
+		b.Efficiency = b.Mean / b.Max
+	}
+	return b
+}
+
+// Rate formats ops/seconds as a human-readable flops rate, matching
+// the paper's Mflops/Gflops conventions.
+func Rate(flops uint64, seconds float64) string {
+	if seconds <= 0 {
+		return "inf"
+	}
+	r := float64(flops) / seconds
+	switch {
+	case r >= 1e12:
+		return fmt.Sprintf("%.2f Tflops", r/1e12)
+	case r >= 1e9:
+		return fmt.Sprintf("%.2f Gflops", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.2f Mflops", r/1e6)
+	default:
+		return fmt.Sprintf("%.0f flops", r)
+	}
+}

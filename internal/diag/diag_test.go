@@ -1,0 +1,99 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCountersFlops(t *testing.T) {
+	c := Counters{PP: 10, PC: 5}
+	if c.Interactions() != 15 {
+		t.Fatalf("Interactions = %d", c.Interactions())
+	}
+	if c.Flops() != 15*38 {
+		t.Fatalf("Flops = %d", c.Flops())
+	}
+	c.QuadPC = 5
+	if c.Flops() != 15*38+5*70 {
+		t.Fatalf("Flops with quad = %d", c.Flops())
+	}
+	c2 := Counters{VortexPP: 2, SPHPairs: 3}
+	if c2.Flops() != 2*FlopsPerVortexInteract+3*FlopsPerSPHPair {
+		t.Fatalf("app kernel flops = %d", c2.Flops())
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{PP: 1, PC: 2, QuadPC: 3, CellsBuilt: 4, Traversals: 5, Deferred: 6, Requests: 7, VortexPP: 8, SPHPairs: 9}
+	b := a
+	a.Add(b)
+	if a.PP != 2 || a.PC != 4 || a.QuadPC != 6 || a.CellsBuilt != 8 ||
+		a.Traversals != 10 || a.Deferred != 12 || a.Requests != 14 ||
+		a.VortexPP != 16 || a.SPHPairs != 18 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := NewTimer()
+	tm.Start("build")
+	time.Sleep(2 * time.Millisecond)
+	tm.Start("walk") // implicitly stops build
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	if tm.Get("build") <= 0 || tm.Get("walk") <= 0 {
+		t.Fatal("phases not recorded")
+	}
+	if tm.Total() < tm.Get("build") {
+		t.Fatal("total smaller than a phase")
+	}
+	s := tm.String()
+	if !strings.Contains(s, "build") || !strings.Contains(s, "walk") {
+		t.Fatalf("String missing phases: %q", s)
+	}
+	// build must come first (first-start order).
+	if strings.Index(s, "build") > strings.Index(s, "walk") {
+		t.Fatal("phase order not preserved")
+	}
+	// Stopping when already stopped is a no-op.
+	tm.Stop()
+}
+
+func TestBalanceOf(t *testing.T) {
+	b := BalanceOf([]float64{1, 2, 3, 10})
+	if b.Min != 1 || b.Max != 10 || b.Mean != 4 {
+		t.Fatalf("balance = %+v", b)
+	}
+	if b.Efficiency != 0.4 {
+		t.Fatalf("efficiency = %v", b.Efficiency)
+	}
+	if got := BalanceOf(nil); got != (Balance{}) {
+		t.Fatalf("empty balance = %+v", got)
+	}
+	perfect := BalanceOf([]float64{5, 5, 5})
+	if perfect.Efficiency != 1 {
+		t.Fatalf("perfect efficiency = %v", perfect.Efficiency)
+	}
+}
+
+func TestRate(t *testing.T) {
+	cases := []struct {
+		flops uint64
+		sec   float64
+		want  string
+	}{
+		{38_000_000, 1, "38.00 Mflops"},
+		{431_000_000_000, 1, "431.00 Gflops"},
+		{2_000_000_000_000, 1, "2.00 Tflops"},
+		{500, 1, "500 flops"},
+	}
+	for _, c := range cases {
+		if got := Rate(c.flops, c.sec); got != c.want {
+			t.Errorf("Rate(%d, %g) = %q, want %q", c.flops, c.sec, got, c.want)
+		}
+	}
+	if Rate(1, 0) != "inf" {
+		t.Error("zero-time rate should be inf")
+	}
+}

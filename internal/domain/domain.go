@@ -1,0 +1,219 @@
+// Package domain implements the work-weighted domain decomposition:
+// bodies are ordered along the Morton curve and the curve is cut into
+// Np contiguous intervals of equal *work* (not equal count), so that
+// the expensive clustered regions spread across processors. The paper
+// describes this as "practically identical to a parallel sorting
+// algorithm, with the modification that the amount of data that ends
+// up in each processor is weighted by the work associated with each
+// item".
+//
+// Splitters are found by a parallel bisection on the 63-bit key-offset
+// space: each round every rank reports the work below the probe
+// offsets (a binary search in its sorted local array), an allreduce
+// sums them, and the probes halve. 63 rounds pin the splitters
+// exactly; bodies then move with a single all-to-all exchange.
+package domain
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/msg"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// Wire is the packed body record moved during the exchange.
+type Wire struct {
+	Pos, Vel, Alpha vec.V3
+	Mass, Work, H   float64
+	Rho             float64
+	ID              int64
+}
+
+// WireBytes is the logical size of one Wire on the network.
+const WireBytes = 14 * 8
+
+// Result is the outcome of a decomposition.
+type Result struct {
+	// Sys holds this rank's new bodies, key-sorted.
+	Sys *core.System
+	// Splits has length P+1: rank r owns key offsets
+	// [Splits[r], Splits[r+1]).
+	Splits []uint64
+	// Moved counts bodies that changed ranks (this rank's sends).
+	Moved int
+}
+
+// Decompose redistributes bodies so every rank owns a contiguous
+// Morton interval of roughly equal total Work. The input system is
+// consumed (sorted in place and then repacked).
+func Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Result {
+	c.Phase("decompose")
+	sys.AssignKeys(d)
+	sys.SortByKey()
+	n := sys.Len()
+	p := c.Size()
+
+	// Local prefix work sums: pw[i] = work of bodies [0, i).
+	pw := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		pw[i+1] = pw[i] + sys.Work[i]
+	}
+	workBelow := func(off uint64) float64 {
+		idx := sort.Search(n, func(i int) bool {
+			return tree.KeyOffset(sys.Key[i]) >= off
+		})
+		return pw[idx]
+	}
+
+	total := msg.Allreduce(c, pw[n], msg.SumF64, 8)
+
+	// Bisection for the P-1 interior splitters, all probed per round.
+	lo := make([]uint64, p-1)
+	hi := make([]uint64, p-1)
+	tgt := make([]float64, p-1)
+	for s := range lo {
+		lo[s] = 0
+		hi[s] = tree.EndOffset
+		tgt[s] = total * float64(s+1) / float64(p)
+	}
+	probes := make([]float64, p-1)
+	for round := 0; round < 64; round++ {
+		done := true
+		for s := range lo {
+			if hi[s]-lo[s] > 1 {
+				done = false
+			}
+			probes[s] = workBelow((lo[s] + hi[s]) / 2)
+		}
+		if done {
+			break
+		}
+		sums := msg.Allreduce(c, append([]float64(nil), probes...), sumVec, 8*(p-1))
+		for s := range lo {
+			mid := (lo[s] + hi[s]) / 2
+			if sums[s] >= tgt[s] {
+				hi[s] = mid
+			} else {
+				lo[s] = mid
+			}
+		}
+	}
+
+	splits := make([]uint64, p+1)
+	splits[p] = tree.EndOffset
+	for s := range hi {
+		splits[s+1] = hi[s]
+	}
+
+	// Pack send buffers: bodies are sorted, so each destination's
+	// bodies form one contiguous run.
+	send := make([][]Wire, p)
+	moved := 0
+	start := 0
+	for r := 0; r < p; r++ {
+		end := start + sort.Search(n-start, func(i int) bool {
+			return tree.KeyOffset(sys.Key[start+i]) >= splits[r+1]
+		})
+		if r != c.Rank() {
+			moved += end - start
+		}
+		buf := make([]Wire, 0, end-start)
+		for i := start; i < end; i++ {
+			w := Wire{Pos: sys.Pos[i], Mass: sys.Mass[i], Work: sys.Work[i], ID: sys.ID[i]}
+			if sys.Vel != nil {
+				w.Vel = sys.Vel[i]
+			}
+			if sys.Alpha != nil {
+				w.Alpha = sys.Alpha[i]
+			}
+			if sys.H != nil {
+				w.H = sys.H[i]
+			}
+			if sys.Rho != nil {
+				w.Rho = sys.Rho[i]
+			}
+			buf = append(buf, w)
+		}
+		send[r] = buf
+		start = end
+	}
+
+	recv := msg.Alltoallv(c, send, WireBytes)
+
+	// Unpack, preserving the field configuration of the input.
+	m := 0
+	for _, b := range recv {
+		m += len(b)
+	}
+	out := core.New(m)
+	if sys.Vel != nil || sys.Acc != nil || sys.Pot != nil {
+		out.EnableDynamics()
+	}
+	if sys.Alpha != nil {
+		out.EnableVortex()
+	}
+	if sys.H != nil {
+		out.EnableSPH()
+	}
+	i := 0
+	for _, buf := range recv {
+		for _, w := range buf {
+			out.Pos[i] = w.Pos
+			out.Mass[i] = w.Mass
+			out.Work[i] = w.Work
+			out.ID[i] = w.ID
+			if out.Vel != nil {
+				out.Vel[i] = w.Vel
+			}
+			if out.Alpha != nil {
+				out.Alpha[i] = w.Alpha
+			}
+			if out.H != nil {
+				out.H[i] = w.H
+			}
+			if out.Rho != nil {
+				out.Rho[i] = w.Rho
+			}
+			i++
+		}
+	}
+	out.AssignKeys(d)
+	out.SortByKey()
+	return Result{Sys: out, Splits: splits, Moved: moved}
+}
+
+func sumVec(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// GlobalDomain computes the bounding domain of bodies distributed
+// across ranks (allreduce of the coordinate bounds), so every rank
+// quantizes keys identically.
+func GlobalDomain(c *msg.Comm, sys *core.System) keys.Domain {
+	type bounds struct{ Lo, Hi vec.V3 }
+	b := bounds{
+		Lo: vec.V3{X: 1e300, Y: 1e300, Z: 1e300},
+		Hi: vec.V3{X: -1e300, Y: -1e300, Z: -1e300},
+	}
+	for _, p := range sys.Pos {
+		b.Lo = vec.Min(b.Lo, p)
+		b.Hi = vec.Max(b.Hi, p)
+	}
+	g := msg.Allreduce(c, b, func(x, y bounds) bounds {
+		return bounds{Lo: vec.Min(x.Lo, y.Lo), Hi: vec.Max(x.Hi, y.Hi)}
+	}, 48)
+	span := g.Hi.Sub(g.Lo)
+	size := span.MaxAbs()
+	if size <= 0 {
+		size = 1
+	}
+	size *= 1.0 + 1e-6
+	return keys.Domain{Origin: g.Lo, Size: size}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/npb"
+)
+
+// checkRows asserts the paper-vs-ours ratio is within [lo, hi]: the
+// "shape holds" criterion (who wins, roughly by what factor).
+func checkRows(t *testing.T, rows []Row, lo, hi float64) {
+	t.Helper()
+	for _, r := range rows {
+		ratio := r.Ratio()
+		if ratio < lo || ratio > hi {
+			t.Errorf("%s: paper %.4g vs ours %.4g %s (ratio %.2f outside [%.2f, %.2f])",
+				r.Quantity, r.Paper, r.Ours, r.Unit, ratio, lo, hi)
+		}
+	}
+}
+
+func TestE1ReproducesDirectBenchmark(t *testing.T) {
+	res := E1(3000, 4, 1)
+	// The modeled Gflops comes from the calibrated kernel rate, so
+	// this is tight.
+	checkRows(t, res.Rows, 0.9, 1.1)
+	if res.HostSeconds <= 0 {
+		t.Fatal("no host measurement")
+	}
+}
+
+func TestE2TreecodeShape(t *testing.T) {
+	res := E2(16, 4, 2)
+	// Interactions/body extrapolation carries real uncertainty: the
+	// shape criterion is a factor ~2.
+	checkRows(t, res.Rows, 0.4, 2.5)
+	if res.PerBodyStep < 100 || res.PerBodyStep > 100000 {
+		t.Fatalf("implausible interactions/body/step: %v", res.PerBodyStep)
+	}
+}
+
+func TestE3LokiShape(t *testing.T) {
+	checkRows(t, E3(16, 2), 0.4, 2.5)
+}
+
+func TestE4VortexShape(t *testing.T) {
+	checkRows(t, E4(24, 3, 4), 0.3, 3.0)
+}
+
+func TestE5SC96Shape(t *testing.T) {
+	checkRows(t, E5(16, 2), 0.4, 2.5)
+}
+
+func TestE6UpdateRates(t *testing.T) {
+	rows := E6(16, 4, 2)
+	checkRows(t, rows, 0.3, 3.0)
+	// The treecode must beat N^2 by orders of magnitude.
+	var tree, direct float64
+	for _, r := range rows {
+		if r.Paper == 52 {
+			direct = r.Ours
+		} else {
+			tree = r.Ours
+		}
+	}
+	if tree < 1e4*direct {
+		t.Fatalf("treecode rate %.3g not >> direct %.3g", tree, direct)
+	}
+}
+
+func TestFigureWritesPGM(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig.pgm")
+	if err := Figure(path, 16, 2, 1, 64); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:2]) != "P5" {
+		t.Fatal("not a PGM")
+	}
+}
+
+func TestNPBTable3Shape(t *testing.T) {
+	rows := NPBTable3(npb.MiniA)
+	if len(rows) != len(npb.Kernels) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var isRatio, epRatio float64
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("%s failed verification", r.Kernel)
+		}
+		if r.RedOverLoki < 0.99 {
+			t.Errorf("%s: Red (%.1f) modeled slower than Loki (%.1f)", r.Kernel, r.RedMops, r.LokiMops)
+		}
+		switch r.Kernel {
+		case "IS":
+			isRatio = r.RedOverLoki
+		case "EP":
+			epRatio = r.RedOverLoki
+		}
+	}
+	// The paper's Table 3 shape: EP is network-insensitive (Loki ~
+	// Red), IS is the bandwidth-hungry outlier where Red wins big.
+	if epRatio > 1.6 {
+		t.Errorf("EP Red/Loki = %.2f; paper shows near parity", epRatio)
+	}
+	if isRatio < epRatio {
+		t.Errorf("IS Red/Loki (%.2f) should exceed EP's (%.2f)", isRatio, epRatio)
+	}
+}
+
+func TestNPBTable4Scaling(t *testing.T) {
+	tab := NPBTable4(npb.MiniA, []int{1, 2, 4})
+	for _, np := range []int{1, 2, 4} {
+		if len(tab[np]) != len(npb.Kernels) {
+			t.Fatalf("np=%d: %d rows", np, len(tab[np]))
+		}
+	}
+	// Modeled Loki Mop/s should increase with ranks for the
+	// compute-heavy kernels (EP at minimum).
+	ep := func(np int) float64 {
+		for _, r := range tab[np] {
+			if r.Kernel == "EP" {
+				return r.LokiMops
+			}
+		}
+		return 0
+	}
+	if !(ep(4) > ep(2) && ep(2) > ep(1)) {
+		t.Errorf("EP does not scale on modeled Loki: %v %v %v", ep(1), ep(2), ep(4))
+	}
+	s := FormatNPBRows(tab[4])
+	if len(s) == 0 {
+		t.Fatal("empty table")
+	}
+}

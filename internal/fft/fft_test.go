@@ -1,0 +1,212 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPlanValidation(t *testing.T) {
+	for _, n := range []int{0, 3, 12, -4} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) should fail", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 1024} {
+		if _, err := NewPlan(n); err != nil {
+			t.Errorf("NewPlan(%d): %v", n, err)
+		}
+	}
+}
+
+func TestForwardMatchesSlowDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		x := randomSignal(n, int64(n))
+		want := DFTSlow(x)
+		p, _ := NewPlan(n)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff %g", n, d)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeExp uint8) bool {
+		n := 1 << (sizeExp % 10)
+		x := randomSignal(n, seed)
+		p, _ := NewPlan(n)
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		return maxDiff(x, y) < 1e-10*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	n := 256
+	x := randomSignal(n, 7)
+	var tdom float64
+	for _, v := range x {
+		tdom += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p, _ := NewPlan(n)
+	p.Forward(x)
+	var fdom float64
+	for _, v := range x {
+		fdom += real(v)*real(v) + imag(v)*imag(v)
+	}
+	fdom /= float64(n)
+	if math.Abs(tdom-fdom) > 1e-9*tdom {
+		t.Fatalf("Parseval violated: %g vs %g", tdom, fdom)
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	n := 64
+	x := make([]complex128, n)
+	x[0] = 1
+	p, _ := NewPlan(n)
+	p.Forward(x)
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v", k, v)
+		}
+	}
+}
+
+func TestSingleModeFrequency(t *testing.T) {
+	// x[j] = exp(2 pi i m j / n) transforms to n*delta[k-m].
+	n, m := 32, 5
+	x := make([]complex128, n)
+	for j := range x {
+		ang := 2 * math.Pi * float64(m*j) / float64(n)
+		s, c := math.Sincos(ang)
+		x[j] = complex(c, s)
+	}
+	p, _ := NewPlan(n)
+	p.Forward(x)
+	for k, v := range x {
+		want := complex(0, 0)
+		if k == m {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestGrid3RoundTrip(t *testing.T) {
+	g, err := NewGrid3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = g.Data[i]
+	}
+	g.Forward3()
+	g.Inverse3()
+	if d := maxDiff(g.Data, orig); d > 1e-10 {
+		t.Fatalf("3-D round trip max diff %g", d)
+	}
+}
+
+func TestGrid3PlaneWave(t *testing.T) {
+	// A single 3-D plane wave lands in exactly one bin.
+	n := 8
+	g, _ := NewGrid3(n)
+	kx, ky, kz := 2, 3, 1
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				ang := 2 * math.Pi * float64(kx*x+ky*y+kz*z) / float64(n)
+				s, c := math.Sincos(ang)
+				g.Set(x, y, z, complex(c, s))
+			}
+		}
+	}
+	g.Forward3()
+	total := float64(n * n * n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				want := complex(0, 0)
+				if x == kx && y == ky && z == kz {
+					want = complex(total, 0)
+				}
+				if cmplx.Abs(g.At(x, y, z)-want) > 1e-8 {
+					t.Fatalf("bin (%d,%d,%d) = %v, want %v", x, y, z, g.At(x, y, z), want)
+				}
+			}
+		}
+	}
+}
+
+func TestAtSetPeriodicWrap(t *testing.T) {
+	g, _ := NewGrid3(4)
+	g.Set(-1, 4, 9, 7i)
+	if g.At(3, 0, 1) != 7i {
+		t.Fatal("periodic wrap broken")
+	}
+}
+
+func TestFreqIndex(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{0, 8, 0}, {1, 8, 1}, {4, 8, 4}, {5, 8, -3}, {7, 8, -1},
+	}
+	for _, c := range cases {
+		if got := FreqIndex(c.i, c.n); got != c.want {
+			t.Errorf("FreqIndex(%d,%d) = %d, want %d", c.i, c.n, got, c.want)
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := randomSignal(1024, 1)
+	p, _ := NewPlan(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkGrid3_32(b *testing.B) {
+	g, _ := NewGrid3(32)
+	for i := range g.Data {
+		g.Data[i] = complex(float64(i%7), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Forward3()
+	}
+}

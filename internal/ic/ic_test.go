@@ -1,0 +1,179 @@
+package ic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grav"
+	"repro/internal/vec"
+)
+
+func TestPlummerBulk(t *testing.T) {
+	sys := Plummer(2000, 1.0, 1)
+	if sys.Len() != 2000 {
+		t.Fatalf("N = %d", sys.Len())
+	}
+	if m := sys.TotalMass(); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("total mass %v", m)
+	}
+	if c := sys.CenterOfMass(); c.Norm() > 1e-12 {
+		t.Fatalf("COM %v", c)
+	}
+	if p := sys.Momentum(); p.Norm() > 1e-12 {
+		t.Fatalf("momentum %v", p)
+	}
+	// Half-mass radius of a Plummer sphere is ~1.3 a.
+	var rs []float64
+	for i := range sys.Pos {
+		rs = append(rs, sys.Pos[i].Norm())
+	}
+	within := 0
+	for _, r := range rs {
+		if r < 1.3 {
+			within++
+		}
+	}
+	frac := float64(within) / float64(len(rs))
+	if frac < 0.4 || frac > 0.62 {
+		t.Fatalf("mass fraction within 1.3a = %v, want ~0.5", frac)
+	}
+	// All radii within the truncation.
+	for _, r := range rs {
+		if r >= 10 {
+			t.Fatalf("body beyond truncation radius: %v", r)
+		}
+	}
+}
+
+func TestPlummerVirial(t *testing.T) {
+	// 2K + W ~ 0 for an equilibrium model (within sampling noise).
+	sys := Plummer(4000, 1.0, 2)
+	kin := sys.KineticEnergy()
+	var w float64
+	for i := 0; i < sys.Len(); i++ {
+		// eps2 = 0: AccelAt skips exact self-pairs, so no softened
+		// self-potential pollutes W.
+		_, pot := grav.AccelAt(sys.Pos[i], sys.Pos, sys.Mass, 0)
+		w += 0.5 * sys.Mass[i] * pot
+	}
+	ratio := -2 * kin / w
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("virial ratio 2K/|W| = %v, want ~1", ratio)
+	}
+}
+
+func TestUniformSphere(t *testing.T) {
+	sys := UniformSphere(3000, 2.0, 3)
+	if math.Abs(sys.TotalMass()-1) > 1e-12 {
+		t.Fatal("mass")
+	}
+	inside := 0
+	for i := range sys.Pos {
+		r := sys.Pos[i].Norm()
+		if r > 2.0 {
+			t.Fatalf("body outside sphere: %v", r)
+		}
+		if r < 2.0/math.Cbrt(2) { // half-volume radius
+			inside++
+		}
+		if sys.Vel[i].Norm() != 0 {
+			t.Fatal("cold sphere must start at rest")
+		}
+	}
+	frac := float64(inside) / float64(sys.Len())
+	if frac < 0.44 || frac > 0.56 {
+		t.Fatalf("half-volume fraction %v, want ~0.5 (uniform)", frac)
+	}
+}
+
+func TestTwoBodyCircular(t *testing.T) {
+	sys := TwoBody(3, 1, 2.0)
+	// COM at origin, zero momentum.
+	if c := sys.CenterOfMass(); c.Norm() > 1e-14 {
+		t.Fatalf("COM %v", c)
+	}
+	if p := sys.Momentum(); p.Norm() > 1e-14 {
+		t.Fatalf("momentum %v", p)
+	}
+	// Circular orbit: centripetal acceleration matches gravity for
+	// each body: v^2/r = G m_other r / d^2 ... checked via energies:
+	// for a circular two-body orbit E = -G m1 m2 / (2 d).
+	kin := sys.KineticEnergy()
+	d := sys.Pos[1].Sub(sys.Pos[0]).Norm()
+	pot := -3.0 * 1.0 / d
+	if e := kin + pot; math.Abs(e- -3.0/(2*2.0)) > 1e-12 {
+		t.Fatalf("orbit energy %v, want %v", e, -3.0/(2*2.0))
+	}
+}
+
+func newEmptyVortexSystem() *core.System {
+	s := core.New(0)
+	s.EnableDynamics()
+	s.EnableVortex()
+	return s
+}
+
+func TestVortexRingGeometry(t *testing.T) {
+	s := newEmptyVortexSystem()
+	axis := vec.V3{Z: 1}
+	VortexRing(s, 1.0, 2.0, 0.2, vec.V3{X: 5}, axis, 32, 4, 1)
+	if s.Len() != 32*4 {
+		t.Fatalf("N = %d", s.Len())
+	}
+	var totalAlpha vec.V3
+	for i := 0; i < s.Len(); i++ {
+		// Every particle near the torus: distance from the ring circle
+		// must be within the core radius.
+		p := s.Pos[i].Sub(vec.V3{X: 5})
+		inPlane := vec.V3{X: p.X, Y: p.Y}
+		ringDist := math.Abs(inPlane.Norm() - 2.0)
+		if math.Sqrt(ringDist*ringDist+p.Z*p.Z) > 0.2+1e-12 {
+			t.Fatalf("particle %d outside core: %v", i, s.Pos[i])
+		}
+		totalAlpha = totalAlpha.Add(s.Alpha[i])
+		// Strength is tangential: perpendicular to both axis and the
+		// radial direction.
+		if math.Abs(s.Alpha[i].Dot(axis)) > 1e-12 {
+			t.Fatalf("alpha %d has axial component", i)
+		}
+	}
+	// Tangential strengths around a full ring cancel.
+	if totalAlpha.Norm() > 1e-10 {
+		t.Fatalf("net alpha %v, want ~0 by symmetry", totalAlpha)
+	}
+	// Total strength magnitude: sum |alpha| = Gamma * 2 pi R.
+	var sum float64
+	for i := 0; i < s.Len(); i++ {
+		sum += s.Alpha[i].Norm()
+	}
+	want := 1.0 * 2 * math.Pi * 2.0
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("total |alpha| = %v, want %v", sum, want)
+	}
+}
+
+func TestVortexRingAppends(t *testing.T) {
+	s := newEmptyVortexSystem()
+	VortexRing(s, 1.0, 1.0, 0.1, vec.V3{}, vec.V3{Z: 1}, 8, 2, 1)
+	n1 := s.Len()
+	VortexRing(s, -1.0, 1.0, 0.1, vec.V3{Z: 3}, vec.V3{Z: 1}, 8, 2, 2)
+	if s.Len() != 2*n1 {
+		t.Fatalf("second ring did not append: %d", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerpTo(t *testing.T) {
+	for _, v := range []vec.V3{{X: 1}, {Y: 2}, {Z: -3}, {X: 1, Y: 1, Z: 1}} {
+		p := perpTo(v)
+		if math.Abs(p.Dot(v)) > 1e-12 {
+			t.Fatalf("perpTo(%v) = %v not perpendicular", v, p)
+		}
+		if math.Abs(p.Norm()-1) > 1e-12 {
+			t.Fatalf("perpTo(%v) not unit", v)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package integrate provides the time integrators used by the serial
+// simulation drivers: the kick-drift-kick leapfrog (the standard
+// N-body integrator, symplectic for fixed steps) and its comoving
+// variant for cosmological runs (see internal/cosmo for the expansion
+// factors).
+package integrate
+
+import (
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// Forces computes accelerations (and potentials) for the system; the
+// serial tree driver and the direct solver both satisfy it.
+type Forces func(sys *core.System)
+
+// Leapfrog advances the system by n kick-drift-kick steps of size dt.
+// The system's Acc must be current on entry (call forces once first);
+// it is current again on exit.
+func Leapfrog(sys *core.System, forces Forces, dt float64, n int) {
+	for s := 0; s < n; s++ {
+		KickDriftKick(sys, forces, dt)
+	}
+}
+
+// KickDriftKick advances one leapfrog step.
+func KickDriftKick(sys *core.System, forces Forces, dt float64) {
+	Kick(sys, dt/2)
+	Drift(sys, dt)
+	forces(sys)
+	Kick(sys, dt/2)
+}
+
+// Kick advances velocities by dt with the current accelerations.
+func Kick(sys *core.System, dt float64) {
+	for i := range sys.Vel {
+		sys.Vel[i] = sys.Vel[i].Add(sys.Acc[i].Scale(dt))
+	}
+}
+
+// Drift advances positions by dt with the current velocities.
+func Drift(sys *core.System, dt float64) {
+	for i := range sys.Pos {
+		sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(dt))
+	}
+}
+
+// Energy returns kinetic, potential and total energy (Pot must be
+// current).
+func Energy(sys *core.System) (kin, pot, total float64) {
+	kin = sys.KineticEnergy()
+	pot = sys.PotentialEnergy()
+	return kin, pot, kin + pot
+}
+
+// AngularMomentum returns the total angular momentum about the origin.
+func AngularMomentum(sys *core.System) vec.V3 {
+	var l vec.V3
+	for i := range sys.Vel {
+		l = l.Add(sys.Pos[i].Cross(sys.Vel[i]).Scale(sys.Mass[i]))
+	}
+	return l
+}

@@ -1,0 +1,112 @@
+package integrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/direct"
+	"repro/internal/ic"
+	"repro/internal/vec"
+)
+
+func directForces(eps2 float64) Forces {
+	return func(sys *core.System) {
+		direct.Serial(sys.Pos, sys.Mass, sys.Acc, sys.Pot, eps2)
+	}
+}
+
+func TestTwoBodyOrbitClosesAndConservesEnergy(t *testing.T) {
+	sys := ic.TwoBody(1, 1, 1.0)
+	const eps2 = 1e-12
+	f := directForces(eps2)
+	f(sys)
+	p0 := append([]vec.V3(nil), sys.Pos...)
+	_, _, e0 := Energy(sys)
+	// Period of the relative orbit: T = 2 pi sqrt(d^3 / (G M)).
+	period := 2 * math.Pi * math.Sqrt(1.0/2.0)
+	steps := 2000
+	Leapfrog(sys, f, period/float64(steps), steps)
+	_, _, e1 := Energy(sys)
+	if rel := math.Abs((e1 - e0) / e0); rel > 1e-5 {
+		t.Fatalf("energy drift %g over one orbit", rel)
+	}
+	// After one period the bodies return to their start.
+	for i := range sys.Pos {
+		if d := sys.Pos[i].Sub(p0[i]).Norm(); d > 5e-3 {
+			t.Fatalf("body %d did not close orbit: off by %g", i, d)
+		}
+	}
+}
+
+func TestLeapfrogTimeReversibility(t *testing.T) {
+	sys := ic.Plummer(50, 1, 3)
+	const eps2 = 1e-2
+	f := directForces(eps2)
+	f(sys)
+	p0 := append([]vec.V3(nil), sys.Pos...)
+	v0 := append([]vec.V3(nil), sys.Vel...)
+	const dt = 1e-3
+	Leapfrog(sys, f, dt, 50)
+	// Reverse velocities and integrate back.
+	for i := range sys.Vel {
+		sys.Vel[i] = sys.Vel[i].Neg()
+	}
+	Leapfrog(sys, f, dt, 50)
+	for i := range sys.Pos {
+		if d := sys.Pos[i].Sub(p0[i]).Norm(); d > 1e-9 {
+			t.Fatalf("body %d position not reversed: %g", i, d)
+		}
+		if d := sys.Vel[i].Neg().Sub(v0[i]).Norm(); d > 1e-9 {
+			t.Fatalf("body %d velocity not reversed: %g", i, d)
+		}
+	}
+}
+
+func TestEnergySecondOrderConvergence(t *testing.T) {
+	// Halving dt should reduce the energy error by ~4x (2nd order).
+	run := func(dt float64) float64 {
+		sys := ic.Plummer(80, 1, 4)
+		f := directForces(1e-2)
+		f(sys)
+		_, _, e0 := Energy(sys)
+		Leapfrog(sys, f, dt, int(0.2/dt))
+		_, _, e1 := Energy(sys)
+		return math.Abs((e1 - e0) / e0)
+	}
+	errCoarse := run(4e-3)
+	errFine := run(2e-3)
+	order := math.Log2(errCoarse / errFine)
+	if order < 1.2 {
+		t.Fatalf("convergence order %.2f (coarse %g, fine %g), want ~2", order, errCoarse, errFine)
+	}
+}
+
+func TestAngularMomentumConservation(t *testing.T) {
+	sys := ic.Plummer(100, 1, 5)
+	f := directForces(1e-4)
+	f(sys)
+	l0 := AngularMomentum(sys)
+	Leapfrog(sys, f, 1e-3, 100)
+	l1 := AngularMomentum(sys)
+	// Direct forces are exactly antisymmetric: L conserved to
+	// integration roundoff.
+	if d := l1.Sub(l0).Norm(); d > 1e-10 {
+		t.Fatalf("angular momentum drift %g", d)
+	}
+}
+
+func TestKickDriftUnits(t *testing.T) {
+	sys := core.New(1)
+	sys.EnableDynamics()
+	sys.Vel[0] = vec.V3{X: 2}
+	sys.Acc[0] = vec.V3{Y: 3}
+	Drift(sys, 0.5)
+	if sys.Pos[0] != (vec.V3{X: 1}) {
+		t.Fatalf("drift: %v", sys.Pos[0])
+	}
+	Kick(sys, 0.5)
+	if sys.Vel[0] != (vec.V3{X: 2, Y: 1.5}) {
+		t.Fatalf("kick: %v", sys.Vel[0])
+	}
+}

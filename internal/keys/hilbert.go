@@ -1,0 +1,88 @@
+package keys
+
+import "repro/internal/vec"
+
+// Hilbert ordering is provided as an alternative space-filling curve
+// for the domain decomposition ablation. The tree name space itself
+// is always Morton (key arithmetic requires it); Hilbert keys are used
+// only to order bodies before splitting work among processors, where
+// the curve's better locality can reduce boundary communication.
+//
+// The conversion uses Skilling's transpose algorithm (AIP Conf. Proc.
+// 707, 2004): coordinates are transformed in place into the
+// "transposed" Hilbert index, whose bit-interleaving is the index.
+
+// HilbertFromCoords returns the Hilbert-curve key for integer
+// coordinates in [0, 2^MaxLevel), with the same placeholder-bit
+// format as Morton body keys so the two orderings are interchangeable
+// in the decomposition code.
+func HilbertFromCoords(x, y, z uint32) Key {
+	X := [3]uint32{x, y, z}
+	axesToTranspose(&X, coordBits)
+	body := spread1By2(uint64(X[0]))<<2 | spread1By2(uint64(X[1]))<<1 | spread1By2(uint64(X[2]))
+	return Key(body) | 1<<uint(3*MaxLevel)
+}
+
+// HilbertKeyOf returns the Hilbert key of position p within domain d.
+func (d Domain) HilbertKeyOf(p vec.V3) Key {
+	return HilbertFromCoords(d.quant(p.X, d.Origin.X), d.quant(p.Y, d.Origin.Y), d.quant(p.Z, d.Origin.Z))
+}
+
+// axesToTranspose converts coordinates into the transposed Hilbert
+// index in place (Skilling 2004).
+func axesToTranspose(X *[3]uint32, b int) {
+	const n = 3
+	M := uint32(1) << uint(b-1)
+	// Inverse undo excess work.
+	for Q := M; Q > 1; Q >>= 1 {
+		P := Q - 1
+		for i := 0; i < n; i++ {
+			if X[i]&Q != 0 {
+				X[0] ^= P
+			} else {
+				t := (X[0] ^ X[i]) & P
+				X[0] ^= t
+				X[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		X[i] ^= X[i-1]
+	}
+	t := uint32(0)
+	for Q := M; Q > 1; Q >>= 1 {
+		if X[n-1]&Q != 0 {
+			t ^= Q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		X[i] ^= t
+	}
+}
+
+// transposeToAxes is the inverse of axesToTranspose; used by tests to
+// verify the mapping is a bijection.
+func transposeToAxes(X *[3]uint32, b int) {
+	const n = 3
+	N := uint32(2) << uint(b-1)
+	// Gray decode by H ^ (H/2).
+	t := X[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		X[i] ^= X[i-1]
+	}
+	X[0] ^= t
+	// Undo excess work.
+	for Q := uint32(2); Q != N; Q <<= 1 {
+		P := Q - 1
+		for i := n - 1; i >= 0; i-- {
+			if X[i]&Q != 0 {
+				X[0] ^= P
+			} else {
+				tt := (X[0] ^ X[i]) & P
+				X[0] ^= tt
+				X[i] ^= tt
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package keys implements the Morton-ordered key scheme at the heart
+// of the hashed oct-tree: every body and every cell is named by a
+// 64-bit key formed from the interleaved bits of its coordinates with
+// a leading placeholder bit, so that the key itself encodes both the
+// position and the depth of a tree node. Key arithmetic (parent,
+// child, ancestor, containment) is pure bit manipulation, which is
+// what lets the distributed tree use a single global name space: any
+// processor can compute the key of any cell without communication.
+//
+// Conventions, following Warren & Salmon (Supercomputing '93):
+//
+//   - Coordinates are scaled to [0,1)^3 over the root cell and
+//     quantized to MaxLevel = 21 bits per dimension.
+//   - A key at tree level L has exactly 1 + 3L significant bits: the
+//     placeholder 1 followed by one octant digit (3 bits) per level.
+//   - The root key is 1. A body key is a level-21 key (64 bits with
+//     the placeholder at bit 63).
+//   - Octant digits are packed x-major: bit 2 of a digit is the x
+//     bit, bit 1 is y, bit 0 is z.
+package keys
+
+import (
+	"math/bits"
+
+	"repro/internal/vec"
+)
+
+// Key is a Morton key with placeholder bit.
+type Key uint64
+
+// MaxLevel is the deepest tree level representable: 21 octant digits
+// plus the placeholder bit fill 64 bits.
+const MaxLevel = 21
+
+// Root is the key of the root cell.
+const Root Key = 1
+
+// Invalid is the zero Key, which names no cell (every valid key has
+// its placeholder bit set).
+const Invalid Key = 0
+
+// coordBits is the per-dimension quantization.
+const coordBits = MaxLevel
+
+// coordMax is the largest quantized coordinate value.
+const coordMax = 1<<coordBits - 1
+
+// Valid reports whether k is a structurally valid key: nonzero and
+// with a bit length of the form 1+3L.
+func (k Key) Valid() bool {
+	if k == 0 {
+		return false
+	}
+	return (bits.Len64(uint64(k))-1)%3 == 0
+}
+
+// Level returns the tree level of k (0 for the root).
+func (k Key) Level() int {
+	return (bits.Len64(uint64(k)) - 1) / 3
+}
+
+// Parent returns the key of k's parent cell. The parent of the root
+// is Invalid.
+func (k Key) Parent() Key {
+	if k <= Root {
+		return Invalid
+	}
+	return k >> 3
+}
+
+// Child returns the key of k's child in the given octant (0..7).
+func (k Key) Child(octant int) Key {
+	return k<<3 | Key(octant&7)
+}
+
+// Octant returns which child of its parent k is (0..7).
+func (k Key) Octant() int { return int(k & 7) }
+
+// AncestorAt returns k's ancestor at the given level. It panics if
+// level exceeds k's own level.
+func (k Key) AncestorAt(level int) Key {
+	d := k.Level() - level
+	if d < 0 {
+		panic("keys: AncestorAt level below key")
+	}
+	return k >> uint(3*d)
+}
+
+// Contains reports whether cell k is b itself or an ancestor of b.
+func (k Key) Contains(b Key) bool {
+	d := b.Level() - k.Level()
+	if d < 0 {
+		return false
+	}
+	return b>>uint(3*d) == k
+}
+
+// MinBody returns the smallest body-level (level MaxLevel) key inside
+// cell k, i.e. the key of k's lower corner.
+func (k Key) MinBody() Key {
+	return k << uint(3*(MaxLevel-k.Level()))
+}
+
+// MaxBody returns the largest body-level key inside cell k.
+func (k Key) MaxBody() Key {
+	s := uint(3 * (MaxLevel - k.Level()))
+	return k<<s | (1<<s - 1)
+}
+
+// Coords returns the integer coordinates of k's lower corner at k's
+// own level resolution, plus the level. The coordinates range over
+// [0, 2^level).
+func (k Key) Coords() (x, y, z uint32, level int) {
+	level = k.Level()
+	body := uint64(k) &^ (1 << uint(3*level)) // strip placeholder
+	x = compact1By2(body >> 2)
+	y = compact1By2(body >> 1)
+	z = compact1By2(body)
+	return x, y, z, level
+}
+
+// FromCoords builds the key at the given level from integer
+// coordinates in [0, 2^level).
+func FromCoords(x, y, z uint32, level int) Key {
+	body := spread1By2(uint64(x))<<2 | spread1By2(uint64(y))<<1 | spread1By2(uint64(z))
+	return Key(body) | 1<<uint(3*level)
+}
+
+// Domain describes the cubic root cell of a simulation.
+type Domain struct {
+	Origin vec.V3  // lower corner
+	Size   float64 // edge length
+}
+
+// NewDomain returns a cubic domain that contains all the given
+// positions with a small safety margin, so that quantization never
+// lands exactly on the upper boundary.
+func NewDomain(pos []vec.V3) Domain {
+	if len(pos) == 0 {
+		return Domain{Origin: vec.V3{X: 0, Y: 0, Z: 0}, Size: 1}
+	}
+	lo, hi := pos[0], pos[0]
+	for _, p := range pos[1:] {
+		lo = vec.Min(lo, p)
+		hi = vec.Max(hi, p)
+	}
+	span := hi.Sub(lo)
+	size := span.MaxAbs()
+	if size == 0 {
+		size = 1
+	}
+	size *= 1.0 + 1e-6
+	return Domain{Origin: lo, Size: size}
+}
+
+// KeyOf returns the body-level key of position p within the domain.
+// Positions outside the domain are clamped to the boundary.
+func (d Domain) KeyOf(p vec.V3) Key {
+	return FromCoords(d.quant(p.X, d.Origin.X), d.quant(p.Y, d.Origin.Y), d.quant(p.Z, d.Origin.Z), MaxLevel)
+}
+
+func (d Domain) quant(x, o float64) uint32 {
+	f := (x - o) / d.Size
+	q := int64(f * (1 << coordBits))
+	if q < 0 {
+		q = 0
+	}
+	if q > coordMax {
+		q = coordMax
+	}
+	return uint32(q)
+}
+
+// CellCenter returns the center position and edge length of cell k.
+func (d Domain) CellCenter(k Key) (center vec.V3, size float64) {
+	x, y, z, level := k.Coords()
+	size = d.Size / float64(uint64(1)<<uint(level))
+	center = vec.V3{
+		X: d.Origin.X + (float64(x)+0.5)*size,
+		Y: d.Origin.Y + (float64(y)+0.5)*size,
+		Z: d.Origin.Z + (float64(z)+0.5)*size,
+	}
+	return center, size
+}
+
+// spread1By2 spaces the low 21 bits of v three apart:
+// ...abc -> ..a..b..c.
+func spread1By2(v uint64) uint64 {
+	v &= 0x1FFFFF
+	v = (v | v<<32) & 0x1F00000000FFFF
+	v = (v | v<<16) & 0x1F0000FF0000FF
+	v = (v | v<<8) & 0x100F00F00F00F00F
+	v = (v | v<<4) & 0x10C30C30C30C30C3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// compact1By2 is the inverse of spread1By2.
+func compact1By2(v uint64) uint32 {
+	v &= 0x1249249249249249
+	v = (v ^ v>>2) & 0x10C30C30C30C30C3
+	v = (v ^ v>>4) & 0x100F00F00F00F00F
+	v = (v ^ v>>8) & 0x1F0000FF0000FF
+	v = (v ^ v>>16) & 0x1F00000000FFFF
+	v = (v ^ v>>32) & 0x1FFFFF
+	return uint32(v)
+}
+
+// CommonAncestor returns the deepest cell containing both a and b.
+func CommonAncestor(a, b Key) Key {
+	la, lb := a.Level(), b.Level()
+	if la > lb {
+		a = a.AncestorAt(lb)
+		la = lb
+	} else if lb > la {
+		b = b.AncestorAt(la)
+	}
+	for a != b {
+		a >>= 3
+		b >>= 3
+	}
+	return a
+}

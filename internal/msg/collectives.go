@@ -1,0 +1,170 @@
+package msg
+
+// Collectives are free generic functions (Go methods cannot be
+// generic). All ranks must call the same collectives in the same
+// order; reduction operators are applied in rank order so results are
+// deterministic regardless of scheduling.
+
+// Bcast distributes root's value to every rank via a binomial tree
+// (log2 P message rounds, as a real MPI would).
+func Bcast[T any](c *Comm, root int, x T, bytes int) T {
+	tag := c.ctag(opBcast)
+	c.seq++
+	p := c.Size()
+	// Work in a coordinate system where root is rank 0.
+	vr := (c.Rank() - root + p) % p
+	if vr != 0 {
+		// Receive from the parent in the binomial tree: clear the
+		// lowest set bit of the virtual rank.
+		parent := (vr&(vr-1) + root) % p
+		m := c.Recv(parent, tag)
+		x = m.Data.(T)
+	}
+	// Forward to children: set each bit above the lowest set bit
+	// while the result stays < p.
+	low := vr & (-vr)
+	if vr == 0 {
+		low = 1 << 30
+	}
+	for bit := 1; bit < low && vr+bit < p; bit <<= 1 {
+		c.send((vr+bit+root)%p, tag, x, bytes)
+	}
+	return x
+}
+
+// Reduce combines every rank's x with op (applied in rank order) and
+// returns the result on root; other ranks receive the zero value.
+func Reduce[T any](c *Comm, root int, x T, op func(a, b T) T, bytes int) T {
+	tag := c.ctag(opReduce)
+	c.seq++
+	if c.Rank() != root {
+		c.send(root, tag, x, bytes)
+		var zero T
+		return zero
+	}
+	// Apply in rank order for determinism.
+	var acc T
+	first := true
+	for r := 0; r < c.Size(); r++ {
+		var v T
+		if r == root {
+			v = x
+		} else {
+			v = c.Recv(r, tag).Data.(T)
+		}
+		if first {
+			acc = v
+			first = false
+		} else {
+			acc = op(acc, v)
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce followed by Bcast.
+func Allreduce[T any](c *Comm, x T, op func(a, b T) T, bytes int) T {
+	v := Reduce(c, 0, x, op, bytes)
+	return Bcast(c, 0, v, bytes)
+}
+
+// Gather collects every rank's value at root, indexed by rank; other
+// ranks receive nil.
+func Gather[T any](c *Comm, root int, x T, bytes int) []T {
+	tag := c.ctag(opGather)
+	c.seq++
+	if c.Rank() != root {
+		c.send(root, tag, x, bytes)
+		return nil
+	}
+	out := make([]T, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			out[r] = x
+		} else {
+			out[r] = c.Recv(r, tag).Data.(T)
+		}
+	}
+	return out
+}
+
+// Allgather collects every rank's value on all ranks.
+func Allgather[T any](c *Comm, x T, bytes int) []T {
+	v := Gather(c, 0, x, bytes)
+	return Bcast(c, 0, v, bytes*c.Size())
+}
+
+// ExScan returns the exclusive prefix reduction over ranks: rank r
+// gets op(x_0, ..., x_{r-1}); rank 0 gets the zero value. Used by the
+// decomposition to compute global body offsets.
+func ExScan[T any](c *Comm, x T, op func(a, b T) T, bytes int) T {
+	tag := c.ctag(opScan)
+	c.seq++
+	// Linear chain: rank r-1 sends its inclusive prefix to r.
+	var prefix T
+	have := false
+	if c.Rank() > 0 {
+		m := c.Recv(c.Rank()-1, tag)
+		prefix = m.Data.(T)
+		have = true
+	}
+	if c.Rank() < c.Size()-1 {
+		inc := x
+		if have {
+			inc = op(prefix, x)
+		}
+		c.send(c.Rank()+1, tag, inc, bytes)
+	}
+	return prefix
+}
+
+// Alltoallv sends send[d] to rank d and returns what every rank sent
+// here, indexed by source. bytesPer is the logical wire size of one T.
+// The received slices alias the senders' slices (in-process handoff);
+// receivers treat them as read-only.
+func Alltoallv[T any](c *Comm, send [][]T, bytesPer int) [][]T {
+	if len(send) != c.Size() {
+		panic("msg: Alltoallv needs one send slice per rank")
+	}
+	tag := c.ctag(opAlltoall)
+	c.seq++
+	for d := 0; d < c.Size(); d++ {
+		if d == c.Rank() {
+			continue
+		}
+		c.send(d, tag, send[d], bytesPer*len(send[d]))
+	}
+	recv := make([][]T, c.Size())
+	recv[c.Rank()] = send[c.Rank()]
+	for s := 0; s < c.Size(); s++ {
+		if s == c.Rank() {
+			continue
+		}
+		recv[s] = c.Recv(s, tag).Data.([]T)
+	}
+	return recv
+}
+
+// Common reduction operators.
+func SumF64(a, b float64) float64 { return a + b }
+func SumI64(a, b int64) int64     { return a + b }
+func SumU64(a, b uint64) uint64   { return a + b }
+func MaxF64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func MinF64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func MaxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+func SumI(a, b int) int { return a + b }

@@ -1,0 +1,310 @@
+// Package msg is the message-passing substrate that stands in for MPI:
+// a set of "processors" (goroutines) exchanging typed messages through
+// unbounded per-rank mailboxes, with the collectives the treecode
+// needs (barrier, broadcast, reduce, allreduce, gather, allgather,
+// scan, alltoallv) built on point-to-point sends.
+//
+// Two properties matter for the reproduction:
+//
+//   - Per-rank traffic counters. The paper's machine models convert
+//     message counts and byte volumes into network time on ASCI Red or
+//     Loki's switched fast ethernet; every Send records its logical
+//     payload size against the sender's current phase so
+//     internal/perfmodel can replay a run on any machine description.
+//
+//   - Determinism. Receives name their source, collectives apply
+//     reduction operators in rank order, and mailboxes are FIFO per
+//     (source, tag), so a parallel run is reproducible bit-for-bit,
+//     which the parallel==serial equivalence tests rely on.
+//
+// Mailboxes are unbounded, so Send never blocks and naive
+// communication patterns (ring shifts, all-to-all bursts) cannot
+// deadlock; this mirrors MPI's buffered eager protocol for the small
+// and medium messages the treecode sends.
+package msg
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// AnyTag matches any user tag in Recv.
+const AnyTag = -2
+
+// Message is one point-to-point transfer.
+type Message struct {
+	Src   int
+	Tag   int
+	Data  any
+	Bytes int // logical payload size used for traffic accounting
+}
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg Message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func match(msg Message, src, tag int) bool {
+	if src != AnySource && msg.Src != src {
+		return false
+	}
+	if tag != AnyTag && msg.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// take removes and returns the first matching message, blocking until
+// one arrives.
+func (m *mailbox) take(src, tag int) Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if match(msg, src, tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// tryTake removes and returns the first matching message if one is
+// already queued.
+func (m *mailbox) tryTake(src, tag int) (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, msg := range m.queue {
+		if match(msg, src, tag) {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return msg, true
+		}
+	}
+	return Message{}, false
+}
+
+// PhaseTraffic is the communication volume attributed to one phase.
+type PhaseTraffic struct {
+	Msgs  uint64
+	Bytes uint64
+}
+
+// Traffic is the per-rank communication record, keyed by phase label.
+// Only the owning rank writes it during a run.
+type Traffic struct {
+	Phases map[string]*PhaseTraffic
+}
+
+func (t *Traffic) add(phase string, bytes int) {
+	p := t.Phases[phase]
+	if p == nil {
+		p = &PhaseTraffic{}
+		t.Phases[phase] = p
+	}
+	p.Msgs++
+	p.Bytes += uint64(bytes)
+}
+
+// Total sums over phases.
+func (t *Traffic) Total() PhaseTraffic {
+	var sum PhaseTraffic
+	for _, p := range t.Phases {
+		sum.Msgs += p.Msgs
+		sum.Bytes += p.Bytes
+	}
+	return sum
+}
+
+// World is one parallel machine instance: mailboxes and traffic
+// records for every rank.
+type World struct {
+	size    int
+	boxes   []*mailbox
+	traffic []Traffic
+}
+
+// NewWorld creates a world of np ranks without running anything; used
+// when the caller manages its own goroutines.
+func NewWorld(np int) *World {
+	if np < 1 {
+		panic("msg: world size must be >= 1")
+	}
+	w := &World{size: np, boxes: make([]*mailbox, np), traffic: make([]Traffic, np)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+		w.traffic[i] = Traffic{Phases: make(map[string]*PhaseTraffic)}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// RankTraffic returns rank r's traffic record. Only meaningful after
+// the run completes.
+func (w *World) RankTraffic(r int) *Traffic { return &w.traffic[r] }
+
+// TotalTraffic sums traffic over all ranks and phases.
+func (w *World) TotalTraffic() PhaseTraffic {
+	var sum PhaseTraffic
+	for i := range w.traffic {
+		t := w.traffic[i].Total()
+		sum.Msgs += t.Msgs
+		sum.Bytes += t.Bytes
+	}
+	return sum
+}
+
+// MaxRankTraffic returns the largest per-rank totals (the network
+// model's bottleneck rank).
+func (w *World) MaxRankTraffic() PhaseTraffic {
+	var m PhaseTraffic
+	for i := range w.traffic {
+		t := w.traffic[i].Total()
+		if t.Msgs > m.Msgs {
+			m.Msgs = t.Msgs
+		}
+		if t.Bytes > m.Bytes {
+			m.Bytes = t.Bytes
+		}
+	}
+	return m
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	w     *World
+	rank  int
+	phase string
+	// seq numbers collectives so overlapping collective traffic can
+	// never be confused; all ranks must call collectives in the same
+	// order (the usual SPMD contract).
+	seq int
+}
+
+// Comm returns rank r's communicator.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("msg: rank %d out of range [0,%d)", r, w.size))
+	}
+	return &Comm{w: w, rank: r, phase: "init"}
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Phase labels subsequent traffic for the machine model.
+func (c *Comm) Phase(name string) { c.phase = name }
+
+// CurrentPhase returns the active phase label.
+func (c *Comm) CurrentPhase() string { return c.phase }
+
+// Send delivers data to rank dst under a user tag (>= 0). bytes is
+// the logical payload size for traffic accounting; the data itself is
+// shared by reference, so the receiver must not mutate it unless the
+// sender has handed off ownership.
+func (c *Comm) Send(dst, tag int, data any, bytes int) {
+	if tag < 0 {
+		panic("msg: user tags must be >= 0")
+	}
+	c.send(dst, tag, data, bytes)
+}
+
+func (c *Comm) send(dst, tag int, data any, bytes int) {
+	if dst < 0 || dst >= c.w.size {
+		panic(fmt.Sprintf("msg: send to rank %d out of range", dst))
+	}
+	c.w.traffic[c.rank].add(c.phase, bytes)
+	c.w.boxes[dst].put(Message{Src: c.rank, Tag: tag, Data: data, Bytes: bytes})
+}
+
+// Recv blocks until a message matching (src, tag) arrives. Use
+// AnySource / AnyTag as wildcards.
+func (c *Comm) Recv(src, tag int) Message {
+	return c.w.boxes[c.rank].take(src, tag)
+}
+
+// TryRecv returns a matching message if one is already queued.
+func (c *Comm) TryRecv(src, tag int) (Message, bool) {
+	return c.w.boxes[c.rank].tryTake(src, tag)
+}
+
+// collective tags are negative and encode (sequence, op) so distinct
+// collectives never collide.
+func (c *Comm) ctag(op int) int {
+	return -(c.seq*16 + op + 3)
+}
+
+const (
+	opBarrier = iota
+	opBcast
+	opReduce
+	opGather
+	opAlltoall
+	opScan
+)
+
+// Barrier blocks until every rank has entered it. Dissemination
+// pattern: log2 P rounds of pairwise messages. Within one barrier the
+// source rank of each round is distinct (dist < P), so a single tag
+// disambiguated by seq is enough.
+func (c *Comm) Barrier() {
+	tag := c.ctag(opBarrier)
+	c.seq++
+	p := c.w.size
+	for dist := 1; dist < p; dist <<= 1 {
+		dst := (c.rank + dist) % p
+		src := (c.rank - dist + p) % p
+		c.send(dst, tag, nil, 0)
+		c.Recv(src, tag)
+	}
+}
+
+// Run executes fn on every rank of a fresh world and returns the
+// world for traffic inspection. A panic on any rank is re-raised on
+// the caller with the rank attached.
+func Run(np int, fn func(*Comm)) *World {
+	w := NewWorld(np)
+	var wg sync.WaitGroup
+	panics := make([]any, np)
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("msg: rank %d panicked: %v", r, p))
+		}
+	}
+	return w
+}

@@ -1,0 +1,176 @@
+package npb
+
+import (
+	"math"
+
+	"repro/internal/msg"
+)
+
+// CG is the conjugate gradient kernel: solve A x = b for a random
+// sparse symmetric positive-definite matrix. The parallel version
+// block-partitions rows; each iteration needs the full iterate (an
+// allgather) and two dot products (allreduces) -- the latency-bound
+// pattern of the original benchmark.
+
+// sparse is a CSR matrix.
+type sparse struct {
+	n    int
+	rowp []int32
+	col  []int32
+	val  []float64
+}
+
+// buildSparse deterministically constructs an SPD matrix: nnz random
+// off-diagonal entries per row, symmetrized, plus a dominant diagonal.
+func buildSparse(n, nnzPerRow int, seed uint64) *sparse {
+	g := NewLCG(seed)
+	entries := make(map[[2]int32]float64)
+	for i := int32(0); i < int32(n); i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			j := int32(g.Next() * float64(n))
+			if j >= int32(n) {
+				j = int32(n) - 1
+			}
+			if j == i {
+				continue
+			}
+			v := g.Next() - 0.5
+			entries[[2]int32{i, j}] += v
+			entries[[2]int32{j, i}] += v
+		}
+	}
+	// Diagonal dominance => SPD.
+	rowAbs := make([]float64, n)
+	for k, v := range entries {
+		rowAbs[k[0]] += math.Abs(v)
+	}
+	for i := int32(0); i < int32(n); i++ {
+		entries[[2]int32{i, i}] = rowAbs[i] + 1
+	}
+	// CSR assembly (rows in order, columns sorted per row).
+	s := &sparse{n: n, rowp: make([]int32, n+1)}
+	cols := make([][]int32, n)
+	vals := make([][]float64, n)
+	for k, v := range entries {
+		cols[k[0]] = append(cols[k[0]], k[1])
+		vals[k[0]] = append(vals[k[0]], v)
+	}
+	// Sort each row for determinism.
+	for i := 0; i < n; i++ {
+		c, v := cols[i], vals[i]
+		for a := 1; a < len(c); a++ {
+			for b := a; b > 0 && c[b] < c[b-1]; b-- {
+				c[b], c[b-1] = c[b-1], c[b]
+				v[b], v[b-1] = v[b-1], v[b]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.rowp[i] = int32(len(s.col))
+		s.col = append(s.col, cols[i]...)
+		s.val = append(s.val, vals[i]...)
+	}
+	s.rowp[n] = int32(len(s.col))
+	return s
+}
+
+// matvecRows computes y[lo:hi] = A[lo:hi,:] x.
+func (s *sparse) matvecRows(x, y []float64, lo, hi int) uint64 {
+	var ops uint64
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for k := s.rowp[i]; k < s.rowp[i+1]; k++ {
+			sum += s.val[k] * x[s.col[k]]
+		}
+		y[i] = sum
+		ops += 2 * uint64(s.rowp[i+1]-s.rowp[i])
+	}
+	return ops
+}
+
+// CGResult reports convergence.
+type CGResult struct {
+	Result
+	InitialResidual, FinalResidual float64
+}
+
+// RunCG solves an n-unknown system with the given iterations.
+func RunCG(c *msg.Comm, n, iters int) CGResult {
+	var res CGResult
+	res.Kernel, res.Class, res.Ranks = "CG", cgClass(n), c.Size()
+	p := c.Size()
+	lo := n * c.Rank() / p
+	hi := n * (c.Rank() + 1) / p
+	var ops uint64
+	verified := true
+
+	res.Seconds = timed(func() {
+		c.Phase("cg")
+		// Every rank builds the same matrix deterministically (mini
+		// scale; the original distributes assembly, which only
+		// changes setup cost).
+		A := buildSparse(n, 6, DefaultSeed)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, n)
+		r := append([]float64(nil), b...)
+		pv := append([]float64(nil), b...)
+		ap := make([]float64, n)
+
+		dotLocal := func(a, bb []float64) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += a[i] * bb[i]
+			}
+			ops += 2 * uint64(hi-lo)
+			return s
+		}
+		dot := func(a, bb []float64) float64 {
+			return msg.Allreduce(c, dotLocal(a, bb), msg.SumF64, 8)
+		}
+		gatherVec := func(v []float64) {
+			parts := msg.Allgather(c, append([]float64(nil), v[lo:hi]...), 8*(hi-lo))
+			at := 0
+			for r := 0; r < p; r++ {
+				copy(v[at:], parts[r])
+				at += len(parts[r])
+			}
+		}
+
+		rr := dot(r, r)
+		res.InitialResidual = math.Sqrt(rr)
+		for it := 0; it < iters; it++ {
+			gatherVec(pv)
+			ops += A.matvecRows(pv, ap, lo, hi)
+			alpha := rr / dot(pv, ap)
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * pv[i]
+				r[i] -= alpha * ap[i]
+			}
+			ops += 4 * uint64(hi-lo)
+			rrNew := dot(r, r)
+			beta := rrNew / rr
+			rr = rrNew
+			for i := lo; i < hi; i++ {
+				pv[i] = r[i] + beta*pv[i]
+			}
+			ops += 2 * uint64(hi-lo)
+		}
+		res.FinalResidual = math.Sqrt(rr)
+		if !(res.FinalResidual < 1e-3*res.InitialResidual) || math.IsNaN(res.FinalResidual) {
+			verified = false
+		}
+	})
+	res.Ops = msg.Allreduce(c, ops, msg.SumU64, 8)
+	res.Verified = verified
+	return res
+}
+
+func cgClass(n int) string {
+	if n >= 10000 {
+		return "miniB"
+	}
+	return "miniA"
+}

@@ -1,0 +1,90 @@
+package npb
+
+import (
+	"math"
+
+	"repro/internal/msg"
+)
+
+// EP is the "embarrassingly parallel" kernel: generate 2^m pairs of
+// uniforms, map accepted pairs through the polar method to Gaussian
+// deviates, count them in ten square annuli, and sum the deviates.
+// Communication is a single reduction at the end -- the kernel every
+// machine should ace (and the one where the paper's Table 3 shows
+// even Loki and ASCI Red nearly tied per processor).
+
+// EPResult carries the verification sums.
+type EPResult struct {
+	Result
+	SumX, SumY float64
+	Counts     [10]uint64
+	Accepted   uint64
+}
+
+// epOpsPerPair is the documented operation charge per generated pair
+// (two LCG steps, the acceptance test, and amortized transform).
+const epOpsPerPair = 20
+
+// RunEP executes EP with 2^m pairs distributed over the communicator
+// by jump-ahead streams. The serial result (same m) is identical for
+// any rank count, which is the verification.
+func RunEP(c *msg.Comm, m uint) EPResult {
+	var r EPResult
+	r.Kernel, r.Class, r.Ranks = "EP", className(m, 24, 28), c.Size()
+	pairs := uint64(1) << m
+	r.Seconds = timed(func() {
+		lo := pairs * uint64(c.Rank()) / uint64(c.Size())
+		hi := pairs * uint64(c.Rank()+1) / uint64(c.Size())
+		g := NewLCG(DefaultSeed)
+		g.Skip(2 * lo) // two uniforms per pair
+		var sx, sy float64
+		var counts [10]uint64
+		var acc uint64
+		for p := lo; p < hi; p++ {
+			x := 2*g.Next() - 1
+			y := 2*g.Next() - 1
+			t := x*x + y*y
+			if t > 1 || t == 0 {
+				continue
+			}
+			f := math.Sqrt(-2 * math.Log(t) / t)
+			gx, gy := x*f, y*f
+			acc++
+			sx += gx
+			sy += gy
+			l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+			if l < 10 {
+				counts[l]++
+			}
+		}
+		c.Phase("ep")
+		r.SumX = msg.Allreduce(c, sx, msg.SumF64, 8)
+		r.SumY = msg.Allreduce(c, sy, msg.SumF64, 8)
+		r.Accepted = msg.Allreduce(c, acc, msg.SumU64, 8)
+		for l := 0; l < 10; l++ {
+			r.Counts[l] = msg.Allreduce(c, counts[l], msg.SumU64, 8)
+		}
+	})
+	r.Ops = pairs * epOpsPerPair
+	// Verification: the acceptance ratio of the polar method is
+	// pi/4, and every accepted pair must land in an annulus.
+	ratio := float64(r.Accepted) / float64(pairs)
+	var inAnnuli uint64
+	for _, v := range r.Counts {
+		inAnnuli += v
+	}
+	r.Verified = math.Abs(ratio-math.Pi/4) < 0.01 && inAnnuli == r.Accepted
+	return r
+}
+
+// className maps a log2 size onto a mini-class label.
+func className(m, small, large uint) string {
+	switch {
+	case m <= small:
+		return "miniA"
+	case m >= large:
+		return "miniB"
+	default:
+		return "miniAB"
+	}
+}

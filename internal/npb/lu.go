@@ -1,0 +1,130 @@
+package npb
+
+import (
+	"math"
+
+	"repro/internal/msg"
+)
+
+// LU (reduced): SSOR relaxation of the implicit operator
+// A = I - tau * Laplacian3D (Dirichlet) on an n^3 grid. The original's
+// lower/upper wavefront sweeps are replaced by red-black coloring --
+// the standard parallel formulation -- with one halo exchange per
+// color per sweep, which preserves LU's nearest-neighbor,
+// latency-sensitive communication signature.
+
+// RunLU relaxes A u = rhs for the given number of SSOR sweeps and
+// verifies the residual reduction.
+func RunLU(c *msg.Comm, n, sweeps int) PseudoResult {
+	var res PseudoResult
+	res.Kernel, res.Class, res.Ranks = "LU", ftClass(n), c.Size()
+	p := c.Size()
+	if n%p != 0 {
+		panic("npb: grid must be divisible by rank count")
+	}
+	nz := n / p
+	zoff := c.Rank() * nz
+
+	const tau = pseudoTau
+	diag := 1 + 6*tau
+	// Fields with one halo plane on each side.
+	plane := n * n
+	u := make([]float64, (nz+2)*plane)
+	rhs := make([]float64, nz*plane)
+	manufactured(rhs, DefaultSeed, c.Rank()*len(rhs))
+
+	at := func(f []float64, x, y, zl int) float64 {
+		if x < 0 || x >= n || y < 0 || y >= n {
+			return 0 // Dirichlet in x, y
+		}
+		return f[((zl+1)*n+y)*n+x]
+	}
+	halo := func(tag int) {
+		if p == 1 {
+			// Dirichlet: zero halos outside the global domain.
+			for i := 0; i < plane; i++ {
+				u[i] = 0
+				u[(nz+1)*plane+i] = 0
+			}
+			return
+		}
+		up := c.Rank() + 1
+		down := c.Rank() - 1
+		if up < p {
+			c.Send(up, tag, append([]float64(nil), u[nz*plane:(nz+1)*plane]...), 8*plane)
+		}
+		if down >= 0 {
+			c.Send(down, tag+1, append([]float64(nil), u[plane:2*plane]...), 8*plane)
+		}
+		if down >= 0 {
+			copy(u[0:plane], c.Recv(down, tag).Data.([]float64))
+		} else {
+			for i := 0; i < plane; i++ {
+				u[i] = 0
+			}
+		}
+		if up < p {
+			copy(u[(nz+1)*plane:(nz+2)*plane], c.Recv(up, tag+1).Data.([]float64))
+		} else {
+			for i := 0; i < plane; i++ {
+				u[(nz+1)*plane+i] = 0
+			}
+		}
+	}
+	residualNorm := func() float64 {
+		halo(60)
+		var s float64
+		for zl := 0; zl < nz; zl++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					au := diag*at(u, x, y, zl) - tau*(at(u, x-1, y, zl)+at(u, x+1, y, zl)+
+						at(u, x, y-1, zl)+at(u, x, y+1, zl)+at(u, x, y, zl-1)+at(u, x, y, zl+1))
+					r := rhs[(zl*n+y)*n+x] - au
+					s += r * r
+				}
+			}
+		}
+		return math.Sqrt(msg.Allreduce(c, s, msg.SumF64, 8))
+	}
+
+	var ops uint64
+	var r0, r1 float64
+	res.Seconds = timed(func() {
+		c.Phase("lu")
+		r0 = residualNorm()
+		const omega = 1.2
+		for s := 0; s < sweeps; s++ {
+			// Red-black Gauss-Seidel, forward then backward order
+			// (the SSOR pair).
+			for pass := 0; pass < 2; pass++ {
+				for color := 0; color < 2; color++ {
+					cc := color
+					if pass == 1 {
+						cc = 1 - color
+					}
+					halo(62 + 2*pass)
+					for zl := 0; zl < nz; zl++ {
+						zg := zoff + zl
+						for y := 0; y < n; y++ {
+							for x := 0; x < n; x++ {
+								if (x+y+zg)&1 != cc {
+									continue
+								}
+								sum := rhs[(zl*n+y)*n+x] + tau*(at(u, x-1, y, zl)+at(u, x+1, y, zl)+
+									at(u, x, y-1, zl)+at(u, x, y+1, zl)+at(u, x, y, zl-1)+at(u, x, y, zl+1))
+								old := at(u, x, y, zl)
+								u[((zl+1)*n+y)*n+x] = old + omega*(sum/diag-old)
+							}
+						}
+					}
+					ops += uint64(13 * n * n * nz / 2)
+				}
+			}
+		}
+		r1 = residualNorm()
+	})
+	res.Ops = msg.Allreduce(c, ops, msg.SumU64, 8)
+	res.Err = r1 / r0
+	res.Verified = r1 < 0.1*r0 && !math.IsNaN(r1)
+	return res
+}

@@ -1,0 +1,263 @@
+package npb
+
+import (
+	"math"
+
+	"repro/internal/msg"
+)
+
+// MG is the multigrid kernel: V-cycles of the 3-D periodic Poisson
+// problem A u = v with the 7-point Laplacian, weighted-Jacobi
+// smoothing, full-weighting restriction and trilinear prolongation.
+// Ranks own z-slabs at every level and exchange one-plane halos
+// before each stencil sweep -- the nearest-neighbor pattern whose
+// traffic the machine models translate into Loki-vs-Red time.
+
+// mgGrid is one level's distributed field: nz local planes of an
+// n x n x (global n) grid, plus two halo planes (index 0 and nz+1).
+type mgGrid struct {
+	n, nz int
+	data  []float64 // (zl+1)*n*n + y*n + x
+}
+
+func newMGGrid(n, nz int) *mgGrid {
+	return &mgGrid{n: n, nz: nz, data: make([]float64, (nz+2)*n*n)}
+}
+
+func (g *mgGrid) at(x, y, zl int) float64 {
+	n := g.n
+	x, y = (x+n)%n, (y+n)%n
+	return g.data[((zl+1)*n+y)*n+x]
+}
+
+func (g *mgGrid) set(x, y, zl int, v float64) {
+	n := g.n
+	x, y = (x+n)%n, (y+n)%n
+	g.data[((zl+1)*n+y)*n+x] = v
+}
+
+// halo exchanges the boundary planes with the neighbor ranks
+// (periodic in z).
+func (g *mgGrid) halo(c *msg.Comm, tag int) {
+	n, nz := g.n, g.nz
+	plane := n * n
+	p := c.Size()
+	if p == 1 {
+		copy(g.data[0:plane], g.data[nz*plane:(nz+1)*plane])
+		copy(g.data[(nz+1)*plane:(nz+2)*plane], g.data[plane:2*plane])
+		return
+	}
+	up := (c.Rank() + 1) % p
+	down := (c.Rank() - 1 + p) % p
+	// Send my top plane up, my bottom plane down.
+	c.Send(up, tag, append([]float64(nil), g.data[nz*plane:(nz+1)*plane]...), 8*plane)
+	c.Send(down, tag+1, append([]float64(nil), g.data[plane:2*plane]...), 8*plane)
+	copy(g.data[0:plane], c.Recv(down, tag).Data.([]float64))
+	copy(g.data[(nz+1)*plane:(nz+2)*plane], c.Recv(up, tag+1).Data.([]float64))
+}
+
+// residual computes r = v - A u with A = 7-point Laplacian (h = 1).
+// u's halo must be current.
+func mgResidual(u, v, r *mgGrid) {
+	n, nz := u.n, u.nz
+	for zl := 0; zl < nz; zl++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				au := u.at(x-1, y, zl) + u.at(x+1, y, zl) +
+					u.at(x, y-1, zl) + u.at(x, y+1, zl) +
+					u.at(x, y, zl-1) + u.at(x, y, zl+1) - 6*u.at(x, y, zl)
+				r.set(x, y, zl, v.at(x, y, zl)-au)
+			}
+		}
+	}
+}
+
+// smooth runs one weighted-Jacobi sweep u <- u + w/6 (v - A u).
+func mgSmooth(u, v, tmp *mgGrid, w float64) {
+	mgResidual(u, v, tmp)
+	n, nz := u.n, u.nz
+	for zl := 0; zl < nz; zl++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				u.set(x, y, zl, u.at(x, y, zl)-w/6*tmp.at(x, y, zl))
+			}
+		}
+	}
+}
+
+// restrict full-weights the fine residual onto the coarse grid
+// (coarse point (X,Y,Z) at fine (2X,2Y,2Z); tensor [1/4,1/2,1/4]).
+// The fine grid's halo must be current.
+func mgRestrict(fine, coarse *mgGrid) {
+	cn, cnz := coarse.n, coarse.nz
+	w1 := [3]float64{0.25, 0.5, 0.25}
+	for zl := 0; zl < cnz; zl++ {
+		for y := 0; y < cn; y++ {
+			for x := 0; x < cn; x++ {
+				var s float64
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							s += w1[dx+1] * w1[dy+1] * w1[dz+1] *
+								fine.at(2*x+dx, 2*y+dy, 2*zl+dz)
+						}
+					}
+				}
+				coarse.set(x, y, zl, s)
+			}
+		}
+	}
+}
+
+// prolong adds the trilinear interpolation of the coarse correction
+// onto the fine grid. The coarse halo must be current.
+func mgProlong(coarse, fine *mgGrid) {
+	fn, fnz := fine.n, fine.nz
+	for zl := 0; zl < fnz; zl++ {
+		for y := 0; y < fn; y++ {
+			for x := 0; x < fn; x++ {
+				// Coarse coordinates bracketing this fine point.
+				cx, rx := x/2, x%2
+				cy, ry := y/2, y%2
+				cz, rz := zl/2, zl%2
+				var s float64
+				if rx == 0 && ry == 0 && rz == 0 {
+					s = coarse.at(cx, cy, cz)
+				} else {
+					// Average the 2^(set bits) bracketing points.
+					cnt := 0.0
+					for dz := 0; dz <= rz; dz++ {
+						for dy := 0; dy <= ry; dy++ {
+							for dx := 0; dx <= rx; dx++ {
+								s += coarse.at(cx+dx, cy+dy, cz+dz)
+								cnt++
+							}
+						}
+					}
+					s /= cnt
+				}
+				fine.set(x, y, zl, fine.at(x, y, zl)+s)
+			}
+		}
+	}
+}
+
+// MGResult reports the residual history.
+type MGResult struct {
+	Result
+	InitialResidual, FinalResidual float64
+}
+
+// RunMG solves the n^3 periodic Poisson problem with the given number
+// of V-cycles. n must be a power of two; the rank count must divide
+// n/2^(levels-1) so every level keeps at least one local plane.
+func RunMG(c *msg.Comm, n, cycles int) MGResult {
+	var res MGResult
+	res.Kernel, res.Class, res.Ranks = "MG", ftClass(n), c.Size()
+	p := c.Size()
+	// Choose the level count so the coarsest grid still has >= 1
+	// plane per rank and is at least 4 points across.
+	levels := 1
+	for sz := n; sz/2 >= 4 && (sz/2)%p == 0 && sz/2/p >= 1; sz /= 2 {
+		levels++
+	}
+
+	type level struct{ u, v, r, tmp *mgGrid }
+	lv := make([]level, levels)
+	sz := n
+	for l := 0; l < levels; l++ {
+		nz := sz / p
+		lv[l] = level{newMGGrid(sz, nz), newMGGrid(sz, nz), newMGGrid(sz, nz), newMGGrid(sz, nz)}
+		sz /= 2
+	}
+
+	var ops uint64
+	verified := true
+	res.Seconds = timed(func() {
+		c.Phase("mg")
+		// Zero-mean random right-hand side, identical across rank
+		// counts (global stream with jump-ahead).
+		f := lv[0]
+		g := NewLCG(DefaultSeed)
+		zoff := c.Rank() * f.v.nz
+		g.Skip(uint64(zoff * n * n))
+		var localSum float64
+		for zl := 0; zl < f.v.nz; zl++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					v := g.Next() - 0.5
+					f.v.set(x, y, zl, v)
+					localSum += v
+				}
+			}
+		}
+		mean := msg.Allreduce(c, localSum, msg.SumF64, 8) / float64(n*n*n)
+		for i := range f.v.data {
+			f.v.data[i] -= mean
+		}
+
+		norm := func(gr *mgGrid) float64 {
+			var s float64
+			for zl := 0; zl < gr.nz; zl++ {
+				for y := 0; y < gr.n; y++ {
+					for x := 0; x < gr.n; x++ {
+						val := gr.at(x, y, zl)
+						s += val * val
+					}
+				}
+			}
+			return math.Sqrt(msg.Allreduce(c, s, msg.SumF64, 8))
+		}
+
+		f.u.halo(c, 100)
+		mgResidual(f.u, f.v, f.r)
+		res.InitialResidual = norm(f.r)
+
+		var vcycle func(l int)
+		vcycle = func(l int) {
+			cur := lv[l]
+			const w = 0.8
+			for s := 0; s < 2; s++ {
+				cur.u.halo(c, 100+4*l)
+				mgSmooth(cur.u, cur.v, cur.tmp, w)
+				ops += uint64(10 * cur.u.n * cur.u.n * cur.u.nz)
+			}
+			if l == levels-1 {
+				for s := 0; s < 8; s++ {
+					cur.u.halo(c, 100+4*l)
+					mgSmooth(cur.u, cur.v, cur.tmp, w)
+					ops += uint64(10 * cur.u.n * cur.u.n * cur.u.nz)
+				}
+				return
+			}
+			cur.u.halo(c, 100+4*l)
+			mgResidual(cur.u, cur.v, cur.r)
+			cur.r.halo(c, 101+4*l)
+			next := lv[l+1]
+			mgRestrict(cur.r, next.v)
+			for i := range next.u.data {
+				next.u.data[i] = 0
+			}
+			vcycle(l + 1)
+			next.u.halo(c, 102+4*l)
+			mgProlong(next.u, cur.u)
+			for s := 0; s < 2; s++ {
+				cur.u.halo(c, 100+4*l)
+				mgSmooth(cur.u, cur.v, cur.tmp, w)
+				ops += uint64(10 * cur.u.n * cur.u.n * cur.u.nz)
+			}
+		}
+		for cy := 0; cy < cycles; cy++ {
+			vcycle(0)
+		}
+		f.u.halo(c, 100)
+		mgResidual(f.u, f.v, f.r)
+		res.FinalResidual = norm(f.r)
+		if !(res.FinalResidual < 0.2*res.InitialResidual) || math.IsNaN(res.FinalResidual) {
+			verified = false
+		}
+	})
+	res.Ops = msg.Allreduce(c, ops, msg.SumU64, 8)
+	res.Verified = verified
+	return res
+}

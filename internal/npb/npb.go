@@ -1,0 +1,112 @@
+// Package npb implements the NAS Parallel Benchmark kernels the paper
+// uses to compare machine balance (Tables 3 and 4, Figure 3): EP, IS,
+// FT, MG and CG as full verified kernels, and reduced-order BT, SP and
+// LU solvers that preserve the originals' computation/communication
+// pattern (implicit line solves along every axis of a 3-D grid, with
+// transposes/halos between ranks).
+//
+// Problem classes are scaled to laptop-size grids ("mini" classes);
+// the quantity the reproduction cares about is the *relative* Mop/s
+// across kernels, processor counts and machine models, which is set
+// by each kernel's compute/communication structure, not its absolute
+// size. Every kernel verifies its answer (against analytic identities
+// or a serial reference), as the NPB originals do.
+package npb
+
+import (
+	"fmt"
+	"time"
+)
+
+// Result is one benchmark execution.
+type Result struct {
+	Kernel   string
+	Class    string
+	Ranks    int
+	Ops      uint64 // kernel-defined operation count
+	Seconds  float64
+	Verified bool
+	// CommMsgs/CommBytes are the bottleneck rank's traffic, for the
+	// machine models.
+	CommMsgs, CommBytes uint64
+}
+
+// Mops returns millions of operations per second (host-measured).
+func (r Result) Mops() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Seconds / 1e6
+}
+
+// String renders like the NPB summary line.
+func (r Result) String() string {
+	v := "VERIFICATION SUCCESSFUL"
+	if !r.Verified {
+		v = "VERIFICATION FAILED"
+	}
+	return fmt.Sprintf("%-2s class %s x%-2d  %10.2f Mop/s  %8.3fs  %s",
+		r.Kernel, r.Class, r.Ranks, r.Mops(), r.Seconds, v)
+}
+
+// timer measures one benchmark body.
+func timed(f func()) float64 {
+	t0 := time.Now()
+	f()
+	return time.Since(t0).Seconds()
+}
+
+// --- NPB pseudorandom numbers -----------------------------------------
+//
+// The NPB linear congruential generator: x_{k+1} = a x_k mod 2^46 with
+// a = 5^13, yielding uniform doubles x/2^46 in (0,1). Jump-ahead by
+// binary powering makes independent streams for each rank, exactly as
+// the Fortran originals do.
+
+// lcgMod is 2^46.
+const lcgMod = uint64(1) << 46
+
+// LCGA is the NPB multiplier 5^13.
+const LCGA = uint64(1220703125)
+
+// DefaultSeed is the NPB default seed.
+const DefaultSeed = uint64(314159265)
+
+// mulmod46 returns a*b mod 2^46 without overflow (operands < 2^46).
+func mulmod46(a, b uint64) uint64 {
+	const m23 = 1<<23 - 1
+	a1, a0 := a>>23, a&m23
+	b1, b0 := b>>23, b&m23
+	mid := (a1*b0 + a0*b1) & m23
+	return (mid<<23 + a0*b0) & (lcgMod - 1)
+}
+
+// LCG is the NPB generator state.
+type LCG struct{ x uint64 }
+
+// NewLCG seeds a generator.
+func NewLCG(seed uint64) *LCG { return &LCG{x: seed % lcgMod} }
+
+// Next returns the next uniform double in (0,1).
+func (g *LCG) Next() float64 {
+	g.x = mulmod46(LCGA, g.x)
+	return float64(g.x) * (1.0 / float64(lcgMod))
+}
+
+// Skip advances the stream by n steps in O(log n): x <- a^n x.
+func (g *LCG) Skip(n uint64) {
+	an := powmod46(LCGA, n)
+	g.x = mulmod46(an, g.x)
+}
+
+// powmod46 returns a^n mod 2^46.
+func powmod46(a, n uint64) uint64 {
+	result := uint64(1)
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			result = mulmod46(result, a)
+		}
+		a = mulmod46(a, a)
+	}
+	return result
+}

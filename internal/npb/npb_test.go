@@ -1,0 +1,335 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+func TestLCGSkipEquivalence(t *testing.T) {
+	g1 := NewLCG(DefaultSeed)
+	for i := 0; i < 1000; i++ {
+		g1.Next()
+	}
+	g2 := NewLCG(DefaultSeed)
+	g2.Skip(1000)
+	if a, b := g1.Next(), g2.Next(); a != b {
+		t.Fatalf("Skip(1000) diverges: %v vs %v", a, b)
+	}
+	// Skip(0) is identity.
+	g3 := NewLCG(DefaultSeed)
+	g3.Skip(0)
+	g4 := NewLCG(DefaultSeed)
+	if g3.Next() != g4.Next() {
+		t.Fatal("Skip(0) not identity")
+	}
+}
+
+func TestLCGUniformity(t *testing.T) {
+	g := NewLCG(DefaultSeed)
+	var sum float64
+	const n = 100000
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		u := g.Next()
+		if u <= 0 || u >= 1 {
+			t.Fatalf("uniform out of range: %v", u)
+		}
+		sum += u
+		buckets[int(u*10)]++
+	}
+	if math.Abs(sum/n-0.5) > 0.01 {
+		t.Fatalf("mean %v", sum/n)
+	}
+	for b, cnt := range buckets {
+		if cnt < n/10-n/100 || cnt > n/10+n/100 {
+			t.Fatalf("bucket %d count %d", b, cnt)
+		}
+	}
+}
+
+func TestMulmod46(t *testing.T) {
+	// Agreement with big-integer arithmetic on random-ish values.
+	cases := [][2]uint64{
+		{LCGA, DefaultSeed},
+		{lcgMod - 1, lcgMod - 1},
+		{123456789012, 987654321098},
+		{1, lcgMod - 1},
+		{0, 12345},
+	}
+	for _, c := range cases {
+		hi, lo := bits128Mul(c[0], c[1])
+		want := lo & (lcgMod - 1)
+		_ = hi
+		if got := mulmod46(c[0], c[1]); got != want {
+			t.Fatalf("mulmod46(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+// bits128Mul is a reference 128-bit multiply (schoolbook on 32-bit
+// halves).
+func bits128Mul(a, b uint64) (hi, lo uint64) {
+	a0, a1 := a&0xFFFFFFFF, a>>32
+	b0, b1 := b&0xFFFFFFFF, b>>32
+	t := a0 * b0
+	lo = t & 0xFFFFFFFF
+	carry := t >> 32
+	t = a1*b0 + carry
+	m0 := t & 0xFFFFFFFF
+	c1 := t >> 32
+	t = a0*b1 + m0
+	lo |= (t & 0xFFFFFFFF) << 32
+	hi = a1*b1 + c1 + t>>32
+	return hi, lo
+}
+
+func TestEPSerialVsParallel(t *testing.T) {
+	const m = 14
+	var serial EPResult
+	msg.Run(1, func(c *msg.Comm) { serial = RunEP(c, m) })
+	if !serial.Verified {
+		t.Fatalf("serial EP failed verification: accepted=%d", serial.Accepted)
+	}
+	for _, np := range []int{2, 4, 7} {
+		var par EPResult
+		msg.Run(np, func(c *msg.Comm) {
+			r := RunEP(c, m)
+			if c.Rank() == 0 {
+				par = r
+			}
+		})
+		if par.Accepted != serial.Accepted {
+			t.Fatalf("np=%d: accepted %d vs %d", np, par.Accepted, serial.Accepted)
+		}
+		if par.Counts != serial.Counts {
+			t.Fatalf("np=%d: annulus counts differ", np)
+		}
+		if math.Abs(par.SumX-serial.SumX) > 1e-9 || math.Abs(par.SumY-serial.SumY) > 1e-9 {
+			t.Fatalf("np=%d: sums differ: (%v,%v) vs (%v,%v)", np, par.SumX, par.SumY, serial.SumX, serial.SumY)
+		}
+		if !par.Verified {
+			t.Fatalf("np=%d: verification failed", np)
+		}
+	}
+}
+
+func TestISAcrossRanks(t *testing.T) {
+	for _, np := range []int{1, 2, 4} {
+		msg.Run(np, func(c *msg.Comm) {
+			r := RunIS(c, 12, 12)
+			if !r.Verified {
+				t.Errorf("np=%d rank=%d: IS verification failed", np, c.Rank())
+			}
+		})
+	}
+}
+
+func TestFTSerialVsParallel(t *testing.T) {
+	const n, iters = 16, 3
+	var serial FTResult
+	msg.Run(1, func(c *msg.Comm) { serial = RunFT(c, n, iters) })
+	if !serial.Verified {
+		t.Fatal("serial FT failed verification")
+	}
+	if len(serial.Checksums) != iters {
+		t.Fatalf("%d checksums", len(serial.Checksums))
+	}
+	for _, np := range []int{2, 4} {
+		var par FTResult
+		msg.Run(np, func(c *msg.Comm) {
+			r := RunFT(c, n, iters)
+			if c.Rank() == 0 {
+				par = r
+			}
+		})
+		if !par.Verified {
+			t.Fatalf("np=%d: FT verification failed", np)
+		}
+		for i := range serial.Checksums {
+			if d := cmplx.Abs(par.Checksums[i] - serial.Checksums[i]); d > 1e-6*cmplx.Abs(serial.Checksums[i]) {
+				t.Fatalf("np=%d: checksum %d differs: %v vs %v", np, i, par.Checksums[i], serial.Checksums[i])
+			}
+		}
+	}
+}
+
+func TestMGConvergence(t *testing.T) {
+	for _, np := range []int{1, 2, 4} {
+		var res MGResult
+		msg.Run(np, func(c *msg.Comm) {
+			r := RunMG(c, 32, 4)
+			if c.Rank() == 0 {
+				res = r
+			}
+		})
+		if !res.Verified {
+			t.Fatalf("np=%d: MG failed: residual %v -> %v", np, res.InitialResidual, res.FinalResidual)
+		}
+		if res.FinalResidual > 0.05*res.InitialResidual {
+			t.Fatalf("np=%d: weak convergence: %v -> %v", np, res.InitialResidual, res.FinalResidual)
+		}
+	}
+}
+
+func TestMGParallelMatchesSerial(t *testing.T) {
+	var serial, par MGResult
+	msg.Run(1, func(c *msg.Comm) { serial = RunMG(c, 16, 3) })
+	msg.Run(4, func(c *msg.Comm) {
+		r := RunMG(c, 16, 3)
+		if c.Rank() == 0 {
+			par = r
+		}
+	})
+	if d := math.Abs(par.FinalResidual-serial.FinalResidual) / serial.FinalResidual; d > 1e-9 {
+		t.Fatalf("parallel MG final residual differs by %v (%v vs %v)", d, par.FinalResidual, serial.FinalResidual)
+	}
+}
+
+func TestCGConvergence(t *testing.T) {
+	var serial, par CGResult
+	msg.Run(1, func(c *msg.Comm) { serial = RunCG(c, 1400, 25) })
+	if !serial.Verified {
+		t.Fatalf("serial CG: %v -> %v", serial.InitialResidual, serial.FinalResidual)
+	}
+	msg.Run(4, func(c *msg.Comm) {
+		r := RunCG(c, 1400, 25)
+		if c.Rank() == 0 {
+			par = r
+		}
+	})
+	if !par.Verified {
+		t.Fatal("parallel CG failed")
+	}
+	if d := math.Abs(par.FinalResidual-serial.FinalResidual) / (serial.FinalResidual + 1e-30); d > 1e-6 {
+		t.Fatalf("CG parallel residual differs: %v vs %v", par.FinalResidual, serial.FinalResidual)
+	}
+}
+
+func TestBTSPExactSolves(t *testing.T) {
+	for _, np := range []int{1, 2, 4} {
+		msg.Run(np, func(c *msg.Comm) {
+			bt := RunBT(c, 16, 2)
+			if !bt.Verified {
+				t.Errorf("np=%d: BT max error %g", np, bt.Err)
+			}
+			sp := RunSP(c, 16, 2)
+			if !sp.Verified {
+				t.Errorf("np=%d: SP max error %g", np, sp.Err)
+			}
+		})
+	}
+}
+
+func TestLUReducesResidual(t *testing.T) {
+	for _, np := range []int{1, 2, 4} {
+		var res PseudoResult
+		msg.Run(np, func(c *msg.Comm) {
+			r := RunLU(c, 16, 12)
+			if c.Rank() == 0 {
+				res = r
+			}
+		})
+		if !res.Verified {
+			t.Fatalf("np=%d: LU residual ratio %v", np, res.Err)
+		}
+	}
+}
+
+func TestTridiagSolvers(t *testing.T) {
+	// thomas: solve then apply must reproduce the input.
+	n := 33
+	rhs := make([]float64, n)
+	orig := make([]float64, n)
+	g := NewLCG(7)
+	for i := range rhs {
+		rhs[i] = g.Next()
+		orig[i] = rhs[i]
+	}
+	d, o := 1+2*pseudoTau, -pseudoTau
+	dw := make([]float64, n)
+	thomas(d, o, rhs, dw)
+	back := make([]float64, n)
+	applyTri(d, o, rhs, back)
+	for i := range back {
+		if math.Abs(back[i]-orig[i]) > 1e-12 {
+			t.Fatalf("thomas round trip failed at %d: %v vs %v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestPentaSolver(t *testing.T) {
+	n := 29
+	g := NewLCG(8)
+	rhs := make([]float64, n)
+	orig := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = g.Next() - 0.5
+		orig[i] = rhs[i]
+	}
+	d, o := 1+2*pseudoTau, -pseudoTau
+	c0, c1, c2 := o*o, 2*d*o, d*d+2*o*o
+	band := make([]float64, 5*n)
+	penta(c0, c1, c2, rhs, band)
+	back := make([]float64, n)
+	applyPenta(c0, c1, c2, rhs, back)
+	for i := range back {
+		if math.Abs(back[i]-orig[i]) > 1e-11 {
+			t.Fatalf("penta round trip failed at %d", i)
+		}
+	}
+}
+
+func TestBlockThomas(t *testing.T) {
+	nv := 17
+	dBlk, oBlk := btBlocks()
+	g := NewLCG(9)
+	rhs := make([]float64, 3*nv)
+	orig := make([]float64, 3*nv)
+	for i := range rhs {
+		rhs[i] = g.Next() - 0.5
+		orig[i] = rhs[i]
+	}
+	dws := make([]m3, nv)
+	blockThomas(dBlk, oBlk, rhs, dws)
+	back := make([]float64, 3*nv)
+	applyBlockTri(dBlk, oBlk, rhs, back)
+	for i := range back {
+		if math.Abs(back[i]-orig[i]) > 1e-12 {
+			t.Fatalf("block thomas round trip failed at %d", i)
+		}
+	}
+}
+
+func TestM3Inverse(t *testing.T) {
+	a := m3{4, 1, 0, 1, 3, 1, 0, 1, 2}
+	inv := m3inv(a)
+	id := m3mul(a, inv)
+	want := m3{1, 0, 0, 0, 1, 0, 0, 0, 1}
+	for i := range id {
+		if math.Abs(id[i]-want[i]) > 1e-12 {
+			t.Fatalf("A A^-1 != I at %d: %v", i, id[i])
+		}
+	}
+}
+
+func TestRunSuiteSmoke(t *testing.T) {
+	results := RunSuite(2, MiniA)
+	if len(results) != len(Kernels) {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if !r.Verified {
+			t.Errorf("%s failed verification", r.Kernel)
+		}
+		if r.Ops == 0 || r.Seconds <= 0 {
+			t.Errorf("%s has no measurement: %+v", r.Kernel, r)
+		}
+	}
+	s := FormatSuite(results)
+	if len(s) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,107 @@
+package npb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/msg"
+)
+
+// Sizes selects the mini problem sizes. "A" is quick (CI-sized), "B"
+// is a few times larger, mirroring NPB's class ladder at laptop
+// scale.
+type Sizes struct {
+	EPLog2    uint
+	ISLog2    uint
+	ISBits    uint
+	FTGrid    int
+	FTIters   int
+	MGGrid    int
+	MGCycles  int
+	CGSize    int
+	CGIters   int
+	ADIGrid   int
+	ADIIters  int
+	LUSweeps  int
+	ClassName string
+}
+
+// MiniA is the quick class.
+var MiniA = Sizes{
+	EPLog2: 18, ISLog2: 16, ISBits: 16,
+	FTGrid: 16, FTIters: 4,
+	MGGrid: 32, MGCycles: 4,
+	CGSize: 1400, CGIters: 25,
+	ADIGrid: 16, ADIIters: 4,
+	LUSweeps:  12,
+	ClassName: "miniA",
+}
+
+// MiniB is the larger class used for the Table 3 reproduction.
+var MiniB = Sizes{
+	EPLog2: 21, ISLog2: 19, ISBits: 18,
+	FTGrid: 32, FTIters: 6,
+	MGGrid: 64, MGCycles: 4,
+	CGSize: 7000, CGIters: 40,
+	ADIGrid: 32, ADIIters: 4,
+	LUSweeps:  16,
+	ClassName: "miniB",
+}
+
+// Kernels is the Table 3 kernel order.
+var Kernels = []string{"BT", "SP", "LU", "MG", "FT", "EP", "IS", "CG"}
+
+// RunKernel dispatches one kernel by name.
+func RunKernel(c *msg.Comm, name string, s Sizes) Result {
+	switch name {
+	case "EP":
+		return RunEP(c, s.EPLog2).Result
+	case "IS":
+		return RunIS(c, s.ISLog2, s.ISBits).Result
+	case "FT":
+		return RunFT(c, s.FTGrid, s.FTIters).Result
+	case "MG":
+		return RunMG(c, s.MGGrid, s.MGCycles).Result
+	case "CG":
+		return RunCG(c, s.CGSize, s.CGIters).Result
+	case "BT":
+		return RunBT(c, s.ADIGrid, s.ADIIters).Result
+	case "SP":
+		return RunSP(c, s.ADIGrid, s.ADIIters).Result
+	case "LU":
+		return RunLU(c, s.ADIGrid, s.LUSweeps).Result
+	default:
+		panic("npb: unknown kernel " + name)
+	}
+}
+
+// RunSuite runs every kernel on a fresh world of np ranks and returns
+// results with the bottleneck rank's traffic attached (for the
+// machine models).
+func RunSuite(np int, s Sizes) []Result {
+	results := make([]Result, len(Kernels))
+	for i, k := range Kernels {
+		var res Result
+		w := msg.Run(np, func(c *msg.Comm) {
+			r := RunKernel(c, k, s)
+			if c.Rank() == 0 {
+				res = r
+			}
+		})
+		m := w.MaxRankTraffic()
+		res.CommMsgs, res.CommBytes = m.Msgs, m.Bytes
+		results[i] = res
+	}
+	return results
+}
+
+// FormatSuite renders results as a table like the paper's Table 3/4.
+func FormatSuite(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-6s %5s %12s %10s %8s\n", "Krn", "Class", "Ranks", "Mop/s", "Seconds", "Verified")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-3s %-6s %5d %12.2f %10.4f %8v\n",
+			r.Kernel, r.Class, r.Ranks, r.Mops(), r.Seconds, r.Verified)
+	}
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package parallel
+
+import (
+	"repro/internal/diag"
+	"repro/internal/msg"
+)
+
+// BalanceReport summarizes how evenly the last force evaluation's
+// work spread across ranks. The paper singles this out: "The load
+// balancing problem associated with galaxy formation is probably more
+// severe than any other conventional computational physics
+// algorithm." A collective: every rank must call it.
+type BalanceReport struct {
+	// Work is the balance of interaction counts per rank.
+	Work diag.Balance
+	// Bodies is the balance of local body counts.
+	Bodies diag.Balance
+	// RemoteCells is the balance of imported cells (communication
+	// hot spots).
+	RemoteCells diag.Balance
+}
+
+// Balance gathers per-rank statistics (collective).
+func (e *Engine) Balance() BalanceReport {
+	gather := func(v float64) []float64 {
+		return msg.Allgather(e.C, v, 8)
+	}
+	return BalanceReport{
+		Work:        diag.BalanceOf(gather(float64(e.Counters.Interactions()))),
+		Bodies:      diag.BalanceOf(gather(float64(e.Sys.Len()))),
+		RemoteCells: diag.BalanceOf(gather(float64(e.RemoteCells))),
+	}
+}

@@ -1,0 +1,59 @@
+package parallel
+
+import (
+	"repro/internal/diag"
+	"repro/internal/msg"
+	"repro/internal/vec"
+)
+
+// Kick advances velocities by dt using the current accelerations.
+func (e *Engine) Kick(dt float64) {
+	for i := range e.Sys.Vel {
+		e.Sys.Vel[i] = e.Sys.Vel[i].Add(e.Sys.Acc[i].Scale(dt))
+	}
+}
+
+// Drift advances positions by dt using the current velocities.
+func (e *Engine) Drift(dt float64) {
+	for i := range e.Sys.Pos {
+		e.Sys.Pos[i] = e.Sys.Pos[i].Add(e.Sys.Vel[i].Scale(dt))
+	}
+}
+
+// Step advances one kick-drift-kick leapfrog step. The engine's
+// accelerations must be current (call ComputeForces once before the
+// first Step).
+func (e *Engine) Step(dt float64) diag.Counters {
+	e.Kick(dt / 2)
+	e.Drift(dt)
+	ctr := e.ComputeForces()
+	e.Kick(dt / 2)
+	return ctr
+}
+
+// Energy returns the global kinetic and potential energy (collective;
+// potential requires a preceding ComputeForces).
+func (e *Engine) Energy() (kin, pot float64) {
+	type en struct{ K, P float64 }
+	var loc en
+	for i := range e.Sys.Vel {
+		loc.K += 0.5 * e.Sys.Mass[i] * e.Sys.Vel[i].Norm2()
+		loc.P += 0.5 * e.Sys.Mass[i] * e.Sys.Pot[i]
+	}
+	g := msg.Allreduce(e.C, loc, func(a, b en) en { return en{a.K + b.K, a.P + b.P} }, 16)
+	return g.K, g.P
+}
+
+// Momentum returns the global total momentum (collective).
+func (e *Engine) Momentum() vec.V3 {
+	var loc vec.V3
+	for i := range e.Sys.Vel {
+		loc = loc.Add(e.Sys.Vel[i].Scale(e.Sys.Mass[i]))
+	}
+	return msg.Allreduce(e.C, loc, func(a, b vec.V3) vec.V3 { return a.Add(b) }, 24)
+}
+
+// GlobalLen returns the global body count (collective).
+func (e *Engine) GlobalLen() int64 {
+	return msg.Allreduce(e.C, int64(e.Sys.Len()), msg.SumI64, 8)
+}

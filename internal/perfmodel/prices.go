@@ -1,0 +1,95 @@
+package perfmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LineItem is one row of a parts list.
+type LineItem struct {
+	Qty         int
+	UnitUSD     float64
+	Description string
+}
+
+// Ext returns the extended (qty x unit) price.
+func (l LineItem) Ext() float64 { return float64(l.Qty) * l.UnitUSD }
+
+// Table1Loki is the paper's Table 1: "Loki architecture and price
+// (September, 1996)", summing to $51,379.
+var Table1Loki = []LineItem{
+	{16, 595, "Intel Pentium Pro 200 MHz CPU/256k cache"},
+	{16, 15, "Heat Sink and Fan"},
+	{16, 295, "Intel VS440FX (Venus) motherboard"},
+	{64, 235, "8x36 60ns parity FPM SIMMs (128 MB per node)"},
+	{16, 359, "Quantum Fireball 3240 MB IDE Hard Drive"},
+	{16, 85, "D-Link DFE-500TX 100 Mb Fast Ethernet PCI Card"},
+	{16, 129, "SMC EtherPower 10/100 Fast Ethernet PCI Card"},
+	{16, 59, "S3 Trio-64 1MB PCI Video Card"},
+	{16, 119, "ATX Case"},
+	{2, 4794, "3Com SuperStack II Switch 3000, 8-port Fast Ethernet"},
+	{1, 255, "Ethernet cables"},
+}
+
+// Table1Total is the paper's printed total for Table 1.
+const Table1Total = 51_379
+
+// Table2Spot is the paper's Table 2: spot prices for August 1997.
+var Table2Spot = []LineItem{
+	{1, 220, "ASUS P/I-XP6NP5 motherboard"},
+	{1, 467, "Pentium Pro 200 MHz, 256k L2"},
+	{1, 204, "Pentium Pro 150 MHz, 256k L2"},
+	{1, 112, "SIMM FPM 8x36x60, 32 MB"},
+	{1, 215, "Disk Quantum Fireball 3.2GB EIDE"},
+	{1, 53, "Fast Ethernet DFE-500TX 21140 PCI"},
+	{1, 150, "Misc. Case, Floppy, Heat Sink"},
+	{1, 2500, "BayStack 350T 16 port 10/100 Mbit switch"},
+}
+
+// Aug97SystemUSD builds the paper's "$28k" August-1997 16-processor
+// system from Table 2 spot prices: 16 nodes (board, 200 MHz CPU, 4x32
+// MB SIMMs, disk, NIC, misc) plus one 16-port switch.
+func Aug97SystemUSD() float64 {
+	perNode := itemPrice("ASUS") + itemPrice("Pentium Pro 200") +
+		4*itemPrice("SIMM") + itemPrice("Disk") + itemPrice("DFE-500TX") +
+		itemPrice("Misc")
+	return 16*perNode + itemPrice("BayStack")
+}
+
+func itemPrice(prefix string) float64 {
+	for _, l := range Table2Spot {
+		if strings.Contains(l.Description, prefix) {
+			return l.UnitUSD
+		}
+	}
+	panic("perfmodel: unknown Table 2 item " + prefix)
+}
+
+// Total sums a parts list.
+func Total(items []LineItem) float64 {
+	var t float64
+	for _, l := range items {
+		t += l.Ext()
+	}
+	return t
+}
+
+// PricePerMflop returns the paper's price/performance metric in
+// dollars per sustained Mflop.
+func PricePerMflop(priceUSD, mflops float64) float64 {
+	if mflops <= 0 {
+		return 0
+	}
+	return priceUSD / mflops
+}
+
+// FormatTable renders a parts list like the paper's Table 1.
+func FormatTable(items []LineItem) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %8s %9s  %s\n", "Qty", "Price", "Ext.", "Description")
+	for _, l := range items {
+		fmt.Fprintf(&b, "%4d %8.0f %9.0f  %s\n", l.Qty, l.UnitUSD, l.Ext(), l.Description)
+	}
+	fmt.Fprintf(&b, "Total $%.0f\n", Total(items))
+	return b.String()
+}

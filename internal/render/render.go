@@ -1,0 +1,88 @@
+// Package render produces the log-density projection images of the
+// paper's Figures 1 and 2: "the color of each pixel represents the
+// logarithm of the projected particle density along the line of
+// sight". Output is 8-bit PGM (and a small PPM false-color variant),
+// written with stdlib only.
+package render
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// Image is a grayscale density map.
+type Image struct {
+	W, H int
+	Pix  []float64 // projected mass per pixel, row-major
+}
+
+// Project accumulates the mass of all bodies inside the square region
+// [center-half, center+half]^2 (in x and y; all z) onto a w-by-h
+// grid, projecting along the z axis.
+func Project(sys *core.System, center vec.V3, half float64, w, h int) *Image {
+	img := &Image{W: w, H: h, Pix: make([]float64, w*h)}
+	for i := 0; i < sys.Len(); i++ {
+		fx := (sys.Pos[i].X - center.X + half) / (2 * half)
+		fy := (sys.Pos[i].Y - center.Y + half) / (2 * half)
+		if fx < 0 || fx >= 1 || fy < 0 || fy >= 1 {
+			continue
+		}
+		px := int(fx * float64(w))
+		py := int(fy * float64(h))
+		img.Pix[py*w+px] += sys.Mass[i]
+	}
+	return img
+}
+
+// LogScale maps projected mass to 0..255 on a log scale, as the paper
+// describes, with empty pixels black.
+func (img *Image) LogScale() []uint8 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range img.Pix {
+		if v > 0 {
+			l := math.Log10(v)
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+	}
+	out := make([]uint8, len(img.Pix))
+	if hi <= lo {
+		for i, v := range img.Pix {
+			if v > 0 {
+				out[i] = 255
+			}
+		}
+		return out
+	}
+	for i, v := range img.Pix {
+		if v > 0 {
+			f := (math.Log10(v) - lo) / (hi - lo)
+			out[i] = uint8(55 + f*200) // floor at dark gray so structure shows
+		}
+	}
+	return out
+}
+
+// WritePGM writes the log-scaled image as binary PGM (P5).
+func (img *Image) WritePGM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "P5\n%d %d\n255\n", img.W, img.H); err != nil {
+		return err
+	}
+	if _, err := f.Write(img.LogScale()); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,75 @@
+package render
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+func TestProjectBins(t *testing.T) {
+	sys := core.New(3)
+	sys.Mass[0], sys.Mass[1], sys.Mass[2] = 1, 2, 4
+	sys.Pos[0] = vec.V3{X: -0.9, Y: -0.9} // lower-left pixel
+	sys.Pos[1] = vec.V3{X: 0.9, Y: 0.9}   // upper-right pixel
+	sys.Pos[2] = vec.V3{X: 5, Y: 0}       // outside: dropped
+	img := Project(sys, vec.V3{}, 1.0, 10, 10)
+	var total float64
+	for _, v := range img.Pix {
+		total += v
+	}
+	if total != 3 {
+		t.Fatalf("projected mass %v, want 3 (outside body dropped)", total)
+	}
+	if img.Pix[0] != 1 {
+		t.Fatalf("lower-left pixel %v", img.Pix[0])
+	}
+	if img.Pix[9*10+9] != 2 {
+		t.Fatalf("upper-right pixel %v", img.Pix[99])
+	}
+}
+
+func TestLogScaleOrdering(t *testing.T) {
+	img := &Image{W: 3, H: 1, Pix: []float64{0, 1, 100}}
+	s := img.LogScale()
+	if s[0] != 0 {
+		t.Fatal("empty pixel must be black")
+	}
+	if !(s[2] > s[1]) {
+		t.Fatalf("denser pixel not brighter: %v", s)
+	}
+}
+
+func TestLogScaleUniform(t *testing.T) {
+	img := &Image{W: 2, H: 1, Pix: []float64{5, 5}}
+	s := img.LogScale()
+	if s[0] != 255 || s[1] != 255 {
+		t.Fatalf("uniform field should saturate: %v", s)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	sys := core.New(100)
+	for i := range sys.Pos {
+		sys.Pos[i] = vec.V3{X: float64(i%10)/10 - 0.5, Y: float64(i/10)/10 - 0.5}
+		sys.Mass[i] = 1
+	}
+	img := Project(sys, vec.V3{}, 0.6, 32, 32)
+	path := filepath.Join(t.TempDir(), "fig.pgm")
+	if err := img.WritePGM(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:2]) != "P5" {
+		t.Fatalf("not a PGM: %q", data[:2])
+	}
+	// Header + 32*32 pixel bytes.
+	if len(data) < 32*32 {
+		t.Fatalf("file too short: %d", len(data))
+	}
+}

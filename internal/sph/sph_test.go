@@ -1,0 +1,227 @@
+package sph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grav"
+	"repro/internal/keys"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+func TestKernelNormalization(t *testing.T) {
+	// Integrate W over a fine radial grid: 4 pi int r^2 W dr = 1.
+	for _, h := range []float64{0.5, 1.0, 2.0} {
+		sum := 0.0
+		dr := h / 2000
+		for r := dr / 2; r < 2*h; r += dr {
+			sum += 4 * math.Pi * r * r * W(r, h) * dr
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Fatalf("h=%v: kernel integral %v", h, sum)
+		}
+	}
+}
+
+func TestKernelSupportAndMonotone(t *testing.T) {
+	h := 1.0
+	if W(2*h, h) != 0 || W(3*h, h) != 0 {
+		t.Fatal("kernel must vanish beyond 2h")
+	}
+	prev := W(0, h)
+	for r := 0.05; r < 2; r += 0.05 {
+		v := W(r, h)
+		if v > prev+1e-12 {
+			t.Fatalf("kernel not monotone at r=%v", r)
+		}
+		prev = v
+	}
+}
+
+func TestGradWPointsInward(t *testing.T) {
+	// The kernel decreases with distance, so GradW (w.r.t. r_i) points
+	// from j toward i scaled negatively: rij . grad < 0.
+	h := 1.0
+	for _, r := range []float64{0.3, 0.8, 1.5} {
+		rij := vec.V3{X: r}
+		g := GradW(rij, h)
+		if rij.Dot(g) >= 0 {
+			t.Fatalf("gradient not attractive at r=%v: %v", r, g)
+		}
+	}
+	if GradW(vec.V3{}, 1) != (vec.V3{}) {
+		t.Fatal("GradW(0) must be zero")
+	}
+	if GradW(vec.V3{X: 5}, 1) != (vec.V3{}) {
+		t.Fatal("GradW beyond support must be zero")
+	}
+}
+
+// GradW must be the numerical gradient of W.
+func TestGradWMatchesFiniteDifference(t *testing.T) {
+	h := 0.9
+	for _, r := range []float64{0.2, 0.7, 1.2, 1.9} {
+		g := GradW(vec.V3{X: r}, h).X
+		const d = 1e-6
+		fd := (W(r+d, h) - W(r-d, h)) / (2 * d)
+		if math.Abs(g-fd) > 1e-5 {
+			t.Fatalf("r=%v: grad %v vs fd %v", r, g, fd)
+		}
+	}
+}
+
+// lattice builds a uniform cubic lattice of n^3 particles with spacing
+// dx and smoothing length h, total mass = rho0 * volume.
+func lattice(n int, dx, rho0, h float64) *core.System {
+	sys := core.New(n * n * n)
+	sys.EnableDynamics()
+	sys.EnableSPH()
+	m := rho0 * dx * dx * dx
+	i := 0
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				sys.Pos[i] = vec.V3{X: float64(x) * dx, Y: float64(y) * dx, Z: float64(z) * dx}
+				sys.Mass[i] = m
+				sys.H[i] = h
+				i++
+			}
+		}
+	}
+	return sys
+}
+
+func buildTree(sys *core.System) *tree.Tree {
+	d := keys.NewDomain(sys.Pos)
+	sys.AssignKeys(d)
+	sys.SortByKey()
+	return tree.Build(sys, d, grav.MACParams{Kind: grav.MACBarnesHut, Theta: 0.7}, 16)
+}
+
+func TestDensityOnUniformLattice(t *testing.T) {
+	// Interior particles of a uniform lattice must recover rho0.
+	sys := lattice(10, 0.1, 1.0, 0.13)
+	tr := buildTree(sys)
+	p := &Params{EOS: Isothermal, CS: 1}
+	ctr := Density(tr, p)
+	if ctr.SPHPairs == 0 {
+		t.Fatal("no pairs")
+	}
+	for i := 0; i < sys.Len(); i++ {
+		pos := sys.Pos[i]
+		interior := pos.X > 0.25 && pos.X < 0.65 && pos.Y > 0.25 && pos.Y < 0.65 && pos.Z > 0.25 && pos.Z < 0.65
+		if !interior {
+			continue
+		}
+		if math.Abs(sys.Rho[i]-1.0) > 0.05 {
+			t.Fatalf("interior density %v at %v, want ~1", sys.Rho[i], pos)
+		}
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sys := core.New(500)
+	sys.EnableSPH()
+	sys.EnableDynamics()
+	for i := 0; i < 500; i++ {
+		sys.Pos[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		sys.Mass[i] = 1
+	}
+	tr := buildTree(sys)
+	for trial := 0; trial < 20; trial++ {
+		x := vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		r := 0.05 + 0.3*rng.Float64()
+		got := Neighbors(tr, x, r, nil)
+		want := map[int32]bool{}
+		for i := 0; i < sys.Len(); i++ {
+			if sys.Pos[i].Sub(x).Norm() <= r {
+				want[int32(i)] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d neighbors, want %d", trial, len(got), len(want))
+		}
+		for _, j := range got {
+			if !want[j] {
+				t.Fatalf("trial %d: spurious neighbor %d", trial, j)
+			}
+		}
+	}
+}
+
+func TestPressureForcesConserveMomentum(t *testing.T) {
+	// Symmetric pairwise forces: sum m*a = 0 even on a perturbed
+	// lattice.
+	rng := rand.New(rand.NewSource(2))
+	sys := lattice(6, 0.1, 1.0, 0.13)
+	for i := range sys.Pos {
+		sys.Pos[i] = sys.Pos[i].Add(vec.V3{
+			X: 0.02 * rng.NormFloat64(),
+			Y: 0.02 * rng.NormFloat64(),
+			Z: 0.02 * rng.NormFloat64(),
+		})
+	}
+	p := &Params{EOS: Isothermal, CS: 1, AlphaVisc: 1, BetaVisc: 2}
+	tr := buildTree(sys)
+	Density(tr, p)
+	Forces(tr, p)
+	var f vec.V3
+	var scale float64
+	for i := 0; i < sys.Len(); i++ {
+		f = f.Add(sys.Acc[i].Scale(sys.Mass[i]))
+		scale += sys.Acc[i].Norm() * sys.Mass[i]
+	}
+	if scale == 0 {
+		t.Fatal("no forces at all")
+	}
+	if f.Norm() > 1e-10*scale {
+		t.Fatalf("net force %v (scale %g)", f, scale)
+	}
+}
+
+func TestCompressionRaisesPressureForce(t *testing.T) {
+	// Two particles pushed together must repel; the isothermal EOS is
+	// monotone in density.
+	p := &Params{EOS: Isothermal, CS: 2}
+	if p.pressure(2) <= p.pressure(1) {
+		t.Fatal("pressure not monotone in density")
+	}
+	ideal := &Params{EOS: IdealGas, Gamma: 5.0 / 3.0, U: 1.5}
+	if ideal.pressure(2) <= ideal.pressure(1) {
+		t.Fatal("ideal gas pressure not monotone")
+	}
+	if ideal.soundSpeed(1) <= 0 || p.soundSpeed(1) != 2 {
+		t.Fatal("sound speeds")
+	}
+}
+
+func TestStepEndToEnd(t *testing.T) {
+	sys := lattice(5, 0.1, 1.0, 0.13)
+	// Squeeze the lattice: outward pressure acceleration expected on
+	// the boundary particles.
+	for i := range sys.Pos {
+		sys.Pos[i] = sys.Pos[i].Scale(0.9)
+	}
+	_, ctr := Step(sys, &Params{EOS: Isothermal, CS: 1}, 16)
+	if ctr.SPHPairs == 0 {
+		t.Fatal("no SPH pairs")
+	}
+	if ctr.Flops() == 0 {
+		t.Fatal("no flops accounted")
+	}
+	// The outermost corner particle accelerates outward.
+	var corner int
+	best := -1.0
+	for i := range sys.Pos {
+		if d := sys.Pos[i].Norm(); d > best {
+			best, corner = d, i
+		}
+	}
+	if sys.Acc[corner].Dot(sys.Pos[corner].Sub(vec.V3{X: 0.18, Y: 0.18, Z: 0.18})) <= 0 {
+		t.Fatalf("corner particle accelerates inward: %v", sys.Acc[corner])
+	}
+}

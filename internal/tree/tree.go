@@ -1,0 +1,261 @@
+// Package tree implements the hashed oct-tree: an adaptive octree over
+// Morton keys whose cells live in a hash table (internal/htab), so any
+// cell is reachable by key arithmetic plus one lookup — the property
+// that lets the parallel code use one global name space for local and
+// remote data alike.
+//
+// A tree is built bottom-up over a key-sorted body array: cells
+// subdivide until they hold at most BucketSize bodies, leaves carry
+// [First,First+N) ranges into the body array, and every cell stores
+// its multipole moments and the critical radius RCrit precomputed from
+// the configured multipole acceptance criterion.
+package tree
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/grav"
+	"repro/internal/htab"
+	"repro/internal/keys"
+	"repro/internal/vec"
+)
+
+// DefaultBucketSize is the leaf capacity; leaves double as the groups
+// of the group-based traversal.
+const DefaultBucketSize = 16
+
+// Cell is one node of the hashed oct-tree.
+type Cell struct {
+	Key keys.Key
+	Mp  grav.Multipole
+	// RCrit is the precomputed critical radius: the cell's multipole
+	// expansion is valid for any target farther than RCrit from the
+	// center of mass.
+	RCrit float64
+	// First and N give the body range of a leaf (indices into the
+	// owning body arena).
+	First, N int32
+	// ChildMask has bit o set when child octant o exists.
+	ChildMask uint8
+	Leaf      bool
+}
+
+// Tree is a hashed oct-tree over one (locally stored) body set.
+type Tree struct {
+	Sys    *core.System
+	Domain keys.Domain
+	MAC    grav.MACParams
+	Bucket int
+	Cells  *htab.Table[Cell]
+	// Groups lists the leaf cell keys in Morton order; leaves are the
+	// traversal groups.
+	Groups []keys.Key
+	// rangeLo/rangeHi force-split interval: a cell whose key interval
+	// is not fully inside [rangeLo, rangeHi) must subdivide even if it
+	// holds few bodies, so that every branch cell of the interval
+	// materializes as a tree node (the parallel engine depends on it).
+	rangeLo, rangeHi uint64
+}
+
+// Build constructs the tree. Bodies must already carry keys for the
+// domain and be sorted by key; Build panics otherwise (the callers --
+// serial driver and parallel engine -- own the sort step explicitly).
+func Build(sys *core.System, d keys.Domain, mac grav.MACParams, bucket int) *Tree {
+	return BuildRange(sys, d, mac, bucket, 0, EndOffset)
+}
+
+// BuildRange constructs the tree for a processor owning the key-offset
+// interval [lo, hi): identical to Build except that cells straddling
+// the interval boundary always subdivide (see Tree.rangeLo).
+func BuildRange(sys *core.System, d keys.Domain, mac grav.MACParams, bucket int, lo, hi uint64) *Tree {
+	if bucket <= 0 {
+		bucket = DefaultBucketSize
+	}
+	if !sys.Sorted() {
+		panic("tree: bodies must be sorted by key before Build")
+	}
+	t := &Tree{
+		Sys:     sys,
+		Domain:  d,
+		MAC:     mac,
+		Bucket:  bucket,
+		Cells:   htab.New[Cell](2 * (sys.Len()/bucket + 16)),
+		rangeLo: lo, rangeHi: hi,
+	}
+	t.build(keys.Root, 0, sys.Len())
+	return t
+}
+
+// build constructs the subtree for cell key over bodies [lo,hi) and
+// returns its moments.
+func (t *Tree) build(key keys.Key, lo, hi int) grav.Multipole {
+	center, size := t.Domain.CellCenter(key)
+	inside := KeyOffset(key.MinBody()) >= t.rangeLo && KeyOffset(key.MaxBody()) < t.rangeHi
+	if (hi-lo <= t.Bucket && inside) || key.Level() == keys.MaxLevel {
+		mp := grav.FromBodies(t.Sys.Pos[lo:hi], t.Sys.Mass[lo:hi])
+		c := Cell{
+			Key:   key,
+			Mp:    mp,
+			First: int32(lo),
+			N:     int32(hi - lo),
+			Leaf:  true,
+		}
+		c.RCrit = grav.RCrit(&mp, size, mp.COM.Sub(center).Norm(), t.MAC)
+		t.Cells.Insert(key, c)
+		t.Groups = append(t.Groups, key)
+		return mp
+	}
+	var children [8]grav.Multipole
+	present := children[:0]
+	var mask uint8
+	cur := lo
+	for oct := 0; oct < 8; oct++ {
+		ck := key.Child(oct)
+		// End of this octant's body range: first key beyond MaxBody.
+		end := cur + sort.Search(hi-cur, func(i int) bool {
+			return t.Sys.Key[cur+i] > ck.MaxBody()
+		})
+		if end > cur {
+			mp := t.build(ck, cur, end)
+			present = append(present, mp)
+			mask |= 1 << uint(oct)
+		}
+		cur = end
+	}
+	mp := grav.Combine(present)
+	c := Cell{
+		Key:       key,
+		Mp:        mp,
+		First:     int32(lo),
+		N:         int32(hi - lo),
+		ChildMask: mask,
+	}
+	c.RCrit = grav.RCrit(&mp, size, mp.COM.Sub(center).Norm(), t.MAC)
+	t.Cells.Insert(key, c)
+	return mp
+}
+
+// Cell returns the cell stored under k, or nil.
+func (t *Tree) Cell(k keys.Key) *Cell { return t.Cells.Ptr(k) }
+
+// Root returns the root key.
+func (t *Tree) Root() keys.Key { return keys.Root }
+
+// LeafBodies returns the positions and masses of a leaf's bodies.
+func (t *Tree) LeafBodies(c *Cell) ([]vec.V3, []float64) {
+	return t.Sys.Pos[c.First : c.First+c.N], t.Sys.Mass[c.First : c.First+c.N]
+}
+
+// NCells returns the number of cells in the tree.
+func (t *Tree) NCells() int { return t.Cells.Len() }
+
+// CheckInvariants validates structural and physical consistency; used
+// by tests and returned as an error for fuzzing.
+func (t *Tree) CheckInvariants() error {
+	root := t.Cell(keys.Root)
+	if root == nil {
+		return fmt.Errorf("tree: no root cell")
+	}
+	var sum float64
+	for _, m := range t.Sys.Mass {
+		sum += m
+	}
+	if d := root.Mp.M - sum; d > 1e-9*sum+1e-12 || d < -1e-9*sum-1e-12 {
+		return fmt.Errorf("tree: root mass %g != body mass %g", root.Mp.M, sum)
+	}
+	// Every body must be covered by exactly one leaf, and leaf ranges
+	// must tile [0, N) in Morton order.
+	next := 0
+	for _, gk := range t.Groups {
+		g := t.Cell(gk)
+		if g == nil || !g.Leaf {
+			return fmt.Errorf("tree: group %v is not a leaf", gk)
+		}
+		if int(g.First) != next {
+			return fmt.Errorf("tree: leaf %v starts at %d, want %d", gk, g.First, next)
+		}
+		next = int(g.First + g.N)
+		for i := g.First; i < g.First+g.N; i++ {
+			if !gk.Contains(t.Sys.Key[i]) {
+				return fmt.Errorf("tree: body %d (key %v) outside its leaf %v", i, t.Sys.Key[i], gk)
+			}
+		}
+	}
+	if next != t.Sys.Len() {
+		return fmt.Errorf("tree: leaves cover %d bodies, want %d", next, t.Sys.Len())
+	}
+	// Internal cells: mass equals sum of children; ChildMask matches
+	// table contents.
+	var err error
+	t.Cells.Range(func(k keys.Key, c *Cell) bool {
+		if c.Leaf {
+			return true
+		}
+		var m float64
+		for oct := 0; oct < 8; oct++ {
+			ck := k.Child(oct)
+			child := t.Cell(ck)
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				if child == nil {
+					err = fmt.Errorf("tree: cell %v claims child %d but it is absent", k, oct)
+					return false
+				}
+				m += child.Mp.M
+			} else if child != nil && keys.Root.Contains(ck) {
+				// A present child not in the mask is a corruption
+				// (unless it is an unrelated key, impossible here).
+				err = fmt.Errorf("tree: cell %v has unmasked child %d", k, oct)
+				return false
+			}
+		}
+		if d := m - c.Mp.M; d > 1e-9*c.Mp.M+1e-12 || d < -1e-9*c.Mp.M-1e-12 {
+			err = fmt.Errorf("tree: cell %v mass %g != children %g", k, c.Mp.M, m)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// KeyOffset maps a body-level key to its offset on the Morton curve:
+// a plain integer in [0, 8^21) with the placeholder bit stripped.
+// Domain splits are expressed as offsets so that the exclusive upper
+// end of the last processor's interval (8^21) is representable.
+func KeyOffset(k keys.Key) uint64 {
+	return uint64(k) &^ (uint64(1) << 63)
+}
+
+// EndOffset is one past the largest body-key offset.
+const EndOffset = uint64(1) << 63
+
+// RangeDecompose returns the minimal set of cells whose body-key
+// intervals exactly tile the offset interval [lo, hi). These are the
+// "branch" cells a processor publishes to the shared top tree: the
+// coarsest cells fully contained in its domain interval.
+func RangeDecompose(olo, ohi uint64) []keys.Key {
+	var out []keys.Key
+	cur := olo
+	for cur < ohi {
+		// Largest block size 8^s aligned at cur and fitting in the
+		// remaining interval.
+		sAlign := keys.MaxLevel
+		if cur != 0 {
+			sAlign = bits.TrailingZeros64(cur) / 3
+		}
+		sFit := (63 - bits.LeadingZeros64(ohi-cur)) / 3
+		s := sAlign
+		if sFit < s {
+			s = sFit
+		}
+		if s > keys.MaxLevel {
+			s = keys.MaxLevel
+		}
+		level := keys.MaxLevel - s
+		out = append(out, keys.Key(cur>>(3*uint(s))|1<<(3*uint(level))))
+		cur += 1 << (3 * uint(s))
+	}
+	return out
+}

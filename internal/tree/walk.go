@@ -1,0 +1,140 @@
+package tree
+
+import (
+	"repro/internal/diag"
+	"repro/internal/grav"
+	"repro/internal/keys"
+	"repro/internal/vec"
+)
+
+// Source is what a traversal walks: a provider of cells by key. The
+// serial Tree is a Source; the parallel engine wraps the shared top
+// tree, the local tree and the imported remote cells into one Source
+// whose Cell method records misses as pending remote requests.
+type Source interface {
+	// Cell returns the cell stored under k, or nil if the data is not
+	// (yet) available. A nil return during a parallel walk means "ask
+	// the owner"; the serial tree never returns nil for keys reachable
+	// from the root.
+	Cell(k keys.Key) *Cell
+	// LeafBodies returns the bodies of a leaf cell.
+	LeafBodies(c *Cell) ([]vec.V3, []float64)
+	// Root returns the key traversals start from.
+	Root() keys.Key
+}
+
+// Walker holds the reusable state of group traversals (the stack), so
+// per-group allocations are amortized away.
+type Walker struct {
+	stack   []keys.Key
+	missing []keys.Key
+}
+
+// GroupSphere returns the bounding sphere of a body set: midpoint of
+// the coordinate bounds and the max distance to it.
+func GroupSphere(pos []vec.V3) (center vec.V3, radius float64) {
+	if len(pos) == 0 {
+		return vec.V3{}, 0
+	}
+	lo, hi := pos[0], pos[0]
+	for _, p := range pos[1:] {
+		lo = vec.Min(lo, p)
+		hi = vec.Max(hi, p)
+	}
+	center = lo.Add(hi).Scale(0.5)
+	for _, p := range pos {
+		if d := p.Sub(center).Norm(); d > radius {
+			radius = d
+		}
+	}
+	return center, radius
+}
+
+// Walk traverses src for one group of bodies and accumulates the
+// gravitational acceleration and potential into acc and pot (parallel
+// slices of gpos, NOT zeroed here). groupKey identifies the group's
+// own leaf so its self-interaction uses the self kernel.
+//
+// If any needed cell is unavailable the traversal keeps going to
+// collect every missing key (so one communication round batches all of
+// them, the asynchronous-batched-messages pattern) and returns them;
+// the partial accumulation must then be discarded and the group
+// re-walked after the data arrives.
+func (w *Walker) Walk(src Source, groupKey keys.Key, gpos []vec.V3, acc []vec.V3, pot []float64, eps2 float64, quad bool, ctr *diag.Counters) (missing []keys.Key) {
+	gc, gr := GroupSphere(gpos)
+	w.stack = w.stack[:0]
+	w.missing = w.missing[:0]
+	w.stack = append(w.stack, src.Root())
+	for len(w.stack) > 0 {
+		k := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		c := src.Cell(k)
+		if c == nil {
+			w.missing = append(w.missing, k)
+			continue
+		}
+		ctr.Traversals++
+		if c.Mp.M == 0 {
+			continue // empty cell contributes nothing
+		}
+		d := c.Mp.COM.Sub(gc).Norm()
+		if d-gr > c.RCrit && d > gr {
+			n := grav.M2P(gpos, acc, pot, &c.Mp, quad, eps2)
+			ctr.PC += n
+			if quad {
+				ctr.QuadPC += n
+			}
+			continue
+		}
+		if c.Leaf {
+			spos, smass := src.LeafBodies(c)
+			if c.Key == groupKey {
+				ctr.PP += grav.PPSelf(gpos, smass, acc, pot, eps2)
+			} else {
+				ctr.PP += grav.PPTile(gpos, acc, pot, spos, smass, eps2)
+			}
+			continue
+		}
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				w.stack = append(w.stack, k.Child(oct))
+			}
+		}
+	}
+	if len(w.missing) > 0 {
+		return w.missing
+	}
+	return nil
+}
+
+// Gravity runs a full serial force evaluation: for every group, zero
+// its accumulators, walk the tree, and record per-body work weights
+// for the next domain decomposition. The system must have dynamics
+// enabled. Returns the interaction counters.
+func (t *Tree) Gravity(eps2 float64) diag.Counters {
+	var ctr diag.Counters
+	var w Walker
+	sys := t.Sys
+	for _, gk := range t.Groups {
+		g := t.Cell(gk)
+		lo, hi := g.First, g.First+g.N
+		for i := lo; i < hi; i++ {
+			sys.Acc[i] = vec.V3{}
+			sys.Pot[i] = 0
+		}
+		before := ctr.PP + ctr.PC
+		if m := w.Walk(t, gk, sys.Pos[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], eps2, t.MAC.Quad, &ctr); m != nil {
+			panic("tree: serial walk reported missing cells")
+		}
+		// Per-body work estimate: the group's interactions spread
+		// evenly over its bodies (exact to +-1, since every body in a
+		// group shares the same interaction lists).
+		if g.N > 0 {
+			per := float64(ctr.PP+ctr.PC-before) / float64(g.N)
+			for i := lo; i < hi; i++ {
+				sys.Work[i] = per
+			}
+		}
+	}
+	return ctr
+}

@@ -1,0 +1,131 @@
+// Package vec provides the small fixed-size linear algebra used
+// throughout the treecode: 3-vectors and symmetric 3x3 tensors.
+//
+// Everything is a value type; operations return new values so that
+// expressions compose without aliasing surprises. The hot kernels in
+// internal/grav and internal/vortex inline their own arithmetic and do
+// not call into this package, so clarity wins over micro-optimization
+// here.
+package vec
+
+import "math"
+
+// V3 is a 3-vector of float64.
+type V3 struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a V3) Add(b V3) V3 { return V3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a V3) Sub(b V3) V3 { return V3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s*a.
+func (a V3) Scale(s float64) V3 { return V3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the inner product a . b.
+func (a V3) Dot(b V3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a x b.
+func (a V3) Cross(b V3) V3 {
+	return V3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm2 returns |a|^2.
+func (a V3) Norm2() float64 { return a.Dot(a) }
+
+// Norm returns |a|.
+func (a V3) Norm() float64 { return math.Sqrt(a.Norm2()) }
+
+// Neg returns -a.
+func (a V3) Neg() V3 { return V3{-a.X, -a.Y, -a.Z} }
+
+// MaxAbs returns the largest absolute component.
+func (a V3) MaxAbs() float64 {
+	m := math.Abs(a.X)
+	if v := math.Abs(a.Y); v > m {
+		m = v
+	}
+	if v := math.Abs(a.Z); v > m {
+		m = v
+	}
+	return m
+}
+
+// Min returns the componentwise minimum of a and b.
+func Min(a, b V3) V3 {
+	return V3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)}
+}
+
+// Max returns the componentwise maximum of a and b.
+func Max(a, b V3) V3 {
+	return V3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)}
+}
+
+// Sym3 is a symmetric 3x3 tensor stored as its six independent
+// components. It represents quadrupole moments Q_ij.
+type Sym3 struct {
+	XX, YY, ZZ float64
+	XY, XZ, YZ float64
+}
+
+// Add returns q + r.
+func (q Sym3) Add(r Sym3) Sym3 {
+	return Sym3{
+		q.XX + r.XX, q.YY + r.YY, q.ZZ + r.ZZ,
+		q.XY + r.XY, q.XZ + r.XZ, q.YZ + r.YZ,
+	}
+}
+
+// Scale returns s*q.
+func (q Sym3) Scale(s float64) Sym3 {
+	return Sym3{s * q.XX, s * q.YY, s * q.ZZ, s * q.XY, s * q.XZ, s * q.YZ}
+}
+
+// Outer returns the symmetric part of the outer product v v^T scaled by m.
+func Outer(v V3, m float64) Sym3 {
+	return Sym3{
+		m * v.X * v.X, m * v.Y * v.Y, m * v.Z * v.Z,
+		m * v.X * v.Y, m * v.X * v.Z, m * v.Y * v.Z,
+	}
+}
+
+// Trace returns Q_xx + Q_yy + Q_zz.
+func (q Sym3) Trace() float64 { return q.XX + q.YY + q.ZZ }
+
+// Detrace returns the traceless form q - (tr q / 3) I, the reduced
+// quadrupole used in the multipole expansion.
+func (q Sym3) Detrace() Sym3 {
+	t := q.Trace() / 3
+	r := q
+	r.XX -= t
+	r.YY -= t
+	r.ZZ -= t
+	return r
+}
+
+// Apply returns the matrix-vector product Q v.
+func (q Sym3) Apply(v V3) V3 {
+	return V3{
+		q.XX*v.X + q.XY*v.Y + q.XZ*v.Z,
+		q.XY*v.X + q.YY*v.Y + q.YZ*v.Z,
+		q.XZ*v.X + q.YZ*v.Y + q.ZZ*v.Z,
+	}
+}
+
+// Quad returns the quadratic form v^T Q v.
+func (q Sym3) Quad(v V3) float64 { return v.Dot(q.Apply(v)) }
+
+// MaxAbs returns the largest absolute component of q.
+func (q Sym3) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range [6]float64{q.XX, q.YY, q.ZZ, q.XY, q.XZ, q.YZ} {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,169 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func v3close(a, b V3, tol float64) bool {
+	return close(a.X, b.X, tol) && close(a.Y, b.Y, tol) && close(a.Z, b.Z, tol)
+}
+
+func TestAddSub(t *testing.T) {
+	a := V3{1, 2, 3}
+	b := V3{4, -5, 6}
+	if got := a.Add(b); got != (V3{5, -3, 9}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (V3{-3, 7, -3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Neg(); got != (V3{-1, -2, -3}) {
+		t.Fatalf("Neg = %v", got)
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	x := V3{1, 0, 0}
+	y := V3{0, 1, 0}
+	z := V3{0, 0, 1}
+	if got := x.Cross(y); got != z {
+		t.Fatalf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(x); got != z.Neg() {
+		t.Fatalf("y cross x = %v, want -z", got)
+	}
+	if d := x.Dot(y); d != 0 {
+		t.Fatalf("x.y = %v", d)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	a := V3{3, 4, 12}
+	if n := a.Norm(); !close(n, 13, 1e-12) {
+		t.Fatalf("Norm = %v", n)
+	}
+	if n2 := a.Norm2(); n2 != 169 {
+		t.Fatalf("Norm2 = %v", n2)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if m := (V3{-7, 2, 3}).MaxAbs(); m != 7 {
+		t.Fatalf("MaxAbs = %v", m)
+	}
+	if m := (V3{1, -9, 3}).MaxAbs(); m != 9 {
+		t.Fatalf("MaxAbs = %v", m)
+	}
+	if m := (V3{1, 2, -30}).MaxAbs(); m != 30 {
+		t.Fatalf("MaxAbs = %v", m)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := V3{1, 5, -2}
+	b := V3{3, -4, 0}
+	if got := Min(a, b); got != (V3{1, -4, -2}) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(a, b); got != (V3{3, 5, 0}) {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+// Property: cross product is orthogonal to both inputs.
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V3{clamp(ax), clamp(ay), clamp(az)}
+		b := V3{clamp(bx), clamp(by), clamp(bz)}
+		c := a.Cross(b)
+		scale := (a.Norm() + 1) * (b.Norm() + 1)
+		return close(c.Dot(a), 0, 1e-9*scale*scale) && close(c.Dot(b), 0, 1e-9*scale*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |a x b|^2 + (a.b)^2 == |a|^2 |b|^2 (Lagrange identity).
+func TestLagrangeIdentityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V3{clamp(ax), clamp(ay), clamp(az)}
+		b := V3{clamp(bx), clamp(by), clamp(bz)}
+		lhs := a.Cross(b).Norm2() + a.Dot(b)*a.Dot(b)
+		rhs := a.Norm2() * b.Norm2()
+		return close(lhs, rhs, 1e-9*(rhs+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clamp maps arbitrary float64s (possibly NaN/Inf from quick) into a
+// sane range for numerical property tests.
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Mod(x, 1e3)
+}
+
+func TestSym3Detrace(t *testing.T) {
+	q := Sym3{XX: 1, YY: 2, ZZ: 3, XY: 4, XZ: 5, YZ: 6}
+	d := q.Detrace()
+	if !close(d.Trace(), 0, 1e-14) {
+		t.Fatalf("Detrace trace = %v", d.Trace())
+	}
+	// Off-diagonals must be untouched.
+	if d.XY != 4 || d.XZ != 5 || d.YZ != 6 {
+		t.Fatalf("Detrace changed off-diagonals: %+v", d)
+	}
+}
+
+func TestSym3Apply(t *testing.T) {
+	q := Sym3{XX: 2, YY: 3, ZZ: 4} // diagonal
+	v := V3{1, 1, 1}
+	if got := q.Apply(v); got != (V3{2, 3, 4}) {
+		t.Fatalf("Apply = %v", got)
+	}
+	if f := q.Quad(v); f != 9 {
+		t.Fatalf("Quad = %v", f)
+	}
+}
+
+func TestOuter(t *testing.T) {
+	v := V3{1, 2, 3}
+	o := Outer(v, 2)
+	want := Sym3{XX: 2, YY: 8, ZZ: 18, XY: 4, XZ: 6, YZ: 12}
+	if o != want {
+		t.Fatalf("Outer = %+v, want %+v", o, want)
+	}
+}
+
+// Property: Quad(v) of Outer(v, m) equals m * |v|^4.
+func TestOuterQuadProperty(t *testing.T) {
+	f := func(x, y, z, m float64) bool {
+		v := V3{clamp(x), clamp(y), clamp(z)}
+		mm := math.Abs(clamp(m))
+		got := Outer(v, mm).Quad(v)
+		want := mm * v.Norm2() * v.Norm2()
+		return close(got, want, 1e-7*(math.Abs(want)+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSym3AddScaleMaxAbs(t *testing.T) {
+	q := Sym3{XX: 1, YY: -2, ZZ: 3, XY: 0.5, XZ: -7, YZ: 2}
+	r := q.Add(q.Scale(-1))
+	if r != (Sym3{}) {
+		t.Fatalf("q - q = %+v", r)
+	}
+	if m := q.MaxAbs(); m != 7 {
+		t.Fatalf("MaxAbs = %v", m)
+	}
+}

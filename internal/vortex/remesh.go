@@ -1,0 +1,95 @@
+package vortex
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// M4Prime is the third-order interpolation kernel of Monaghan used by
+// vortex methods for remeshing: it conserves the zeroth, first and
+// second moments of the interpolated quantity.
+func M4Prime(x float64) float64 {
+	x = math.Abs(x)
+	switch {
+	case x < 1:
+		return 1 - 2.5*x*x + 1.5*x*x*x
+	case x < 2:
+		return 0.5 * (2 - x) * (2 - x) * (1 - x)
+	default:
+		return 0
+	}
+}
+
+// Remesh redistributes the particle strengths onto a regular lattice
+// of spacing h using the M4' kernel, returning a fresh particle set
+// positioned at lattice nodes. Nodes whose interpolated strength
+// magnitude falls below cut times the maximum are dropped. This
+// restores the core-overlap condition the method needs; it is the
+// operation that grew the paper's ring-fusion run from 57,000 to
+// 360,000 particles.
+func Remesh(sys *core.System, h, cut float64) *core.System {
+	type node struct{ x, y, z int }
+	acc := make(map[node]vec.V3)
+	for p := 0; p < sys.Len(); p++ {
+		px, py, pz := sys.Pos[p].X/h, sys.Pos[p].Y/h, sys.Pos[p].Z/h
+		ix, iy, iz := int(math.Floor(px)), int(math.Floor(py)), int(math.Floor(pz))
+		for dx := -1; dx <= 2; dx++ {
+			wx := M4Prime(px - float64(ix+dx))
+			if wx == 0 {
+				continue
+			}
+			for dy := -1; dy <= 2; dy++ {
+				wy := M4Prime(py - float64(iy+dy))
+				if wy == 0 {
+					continue
+				}
+				for dz := -1; dz <= 2; dz++ {
+					wz := M4Prime(pz - float64(iz+dz))
+					if wz == 0 {
+						continue
+					}
+					nd := node{ix + dx, iy + dy, iz + dz}
+					acc[nd] = acc[nd].Add(sys.Alpha[p].Scale(wx * wy * wz))
+				}
+			}
+		}
+	}
+	// Find the cutoff scale.
+	maxA := 0.0
+	for _, a := range acc {
+		if v := a.Norm(); v > maxA {
+			maxA = v
+		}
+	}
+	thresh := cut * maxA
+	// Deterministic output order.
+	nodes := make([]node, 0, len(acc))
+	for nd, a := range acc {
+		if a.Norm() > thresh {
+			nodes = append(nodes, nd)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		if a.z != b.z {
+			return a.z < b.z
+		}
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		return a.x < b.x
+	})
+	out := core.New(len(nodes))
+	out.EnableDynamics()
+	out.EnableVortex()
+	for i, nd := range nodes {
+		out.Pos[i] = vec.V3{X: float64(nd.x) * h, Y: float64(nd.y) * h, Z: float64(nd.z) * h}
+		out.Alpha[i] = acc[nd]
+		out.Mass[i] = out.Alpha[i].Norm()
+		out.ID[i] = int64(i)
+	}
+	return out
+}

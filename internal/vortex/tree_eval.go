@@ -1,0 +1,124 @@
+package vortex
+
+import (
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/grav"
+	"repro/internal/keys"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// TreeEval evaluates velocities and strength derivatives through the
+// hashed oct-tree: the tree is built with |alpha| as the structural
+// "mass" (so the center of mass is the strength-weighted centroid and
+// the Barnes-Hut MAC sees the right geometry), far clusters apply
+// their monopole (total strength at the centroid), and near leaves
+// fall back to pairwise tiles.
+//
+// The system is key-sorted in place; sys.Vel receives the velocities
+// and the returned slice holds dalpha/dt aligned with the sorted
+// order. theta is the Barnes-Hut opening angle.
+func TreeEval(sys *core.System, sigma, theta float64) ([]vec.V3, diag.Counters) {
+	var ctr diag.Counters
+	n := sys.Len()
+	sys.EnableVortex()
+	sys.EnableDynamics()
+	// Structural mass = |alpha|.
+	for i := 0; i < n; i++ {
+		sys.Mass[i] = sys.Alpha[i].Norm()
+	}
+	d := keys.NewDomain(sys.Pos)
+	sys.AssignKeys(d)
+	sys.SortByKey()
+	mac := grav.MACParams{Kind: grav.MACBarnesHut, Theta: theta, Quad: false}
+	tr := tree.Build(sys, d, mac, 32)
+	ctr.CellsBuilt += uint64(tr.NCells())
+
+	// Prefix sums of alpha give every cell's total strength from its
+	// contiguous body range.
+	prefA := make([]vec.V3, n+1)
+	for i := 0; i < n; i++ {
+		prefA[i+1] = prefA[i].Add(sys.Alpha[i])
+	}
+
+	dAlpha := make([]vec.V3, n)
+	s2 := sigma * sigma
+	var stack []keys.Key
+	for _, gk := range tr.Groups {
+		g := tr.Cell(gk)
+		lo, hi := g.First, g.First+g.N
+		gpos := sys.Pos[lo:hi]
+		galpha := sys.Alpha[lo:hi]
+		gvel := sys.Vel[lo:hi]
+		gda := dAlpha[lo:hi]
+		for i := range gvel {
+			gvel[i] = vec.V3{}
+			gda[i] = vec.V3{}
+		}
+		gc, gr := tree.GroupSphere(gpos)
+		stack = stack[:0]
+		stack = append(stack, keys.Root)
+		for len(stack) > 0 {
+			k := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c := tr.Cell(k)
+			ctr.Traversals++
+			if c.Mp.M == 0 {
+				continue // zero total |alpha|: no contribution
+			}
+			dd := c.Mp.COM.Sub(gc).Norm()
+			if dd-gr > c.RCrit && dd > gr {
+				m := cellMoment{
+					ASum:     prefA[c.First+c.N].Sub(prefA[c.First]),
+					Centroid: c.Mp.COM,
+				}
+				velMono(gpos, galpha, gvel, gda, &m, s2, &ctr)
+				continue
+			}
+			if c.Leaf {
+				spos := sys.Pos[c.First : c.First+c.N]
+				salpha := sys.Alpha[c.First : c.First+c.N]
+				velTile(gpos, galpha, gvel, gda, spos, salpha, s2, &ctr)
+				continue
+			}
+			for oct := 0; oct < 8; oct++ {
+				if c.ChildMask&(1<<uint(oct)) != 0 {
+					stack = append(stack, k.Child(oct))
+				}
+			}
+		}
+	}
+	return dAlpha, ctr
+}
+
+// Step advances the vortex system one second-order Runge-Kutta
+// (midpoint) step: two tree evaluations. Positions move with the
+// induced velocity; strengths evolve under stretching. The system is
+// re-sorted internally, so callers must track particles by ID.
+func Step(sys *core.System, sigma, theta, dt float64) diag.Counters {
+	n := sys.Len()
+	// Stage 1.
+	d1, ctr := TreeEval(sys, sigma, theta)
+	// Save state indexed by particle ID (the second evaluation
+	// re-sorts, invalidating positional indices).
+	x0 := make([]vec.V3, n)
+	a0 := make([]vec.V3, n)
+	for i := 0; i < n; i++ {
+		x0[sys.ID[i]] = sys.Pos[i]
+		a0[sys.ID[i]] = sys.Alpha[i]
+	}
+	for i := 0; i < n; i++ {
+		sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(dt / 2))
+		sys.Alpha[i] = sys.Alpha[i].Add(d1[i].Scale(dt / 2))
+	}
+	// Stage 2 at the midpoint.
+	d2, ctr2 := TreeEval(sys, sigma, theta)
+	ctr.Add(ctr2)
+	for i := 0; i < n; i++ {
+		id := sys.ID[i]
+		sys.Pos[i] = x0[id].Add(sys.Vel[i].Scale(dt))
+		sys.Alpha[i] = a0[id].Add(d2[i].Scale(dt))
+	}
+	return ctr
+}

@@ -1,0 +1,35 @@
+package vortex
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+// With the retry-rollback in place, the distributed evaluation's
+// interaction count must match the single-rank count closely (deep
+// boundary cells may flip between tile and monopole treatment, so
+// exact equality is not required).
+func TestInteractionCountStableAcrossRanks(t *testing.T) {
+	global := twoRings(32, 3)
+	totals := map[int]uint64{}
+	for _, np := range []int{1, 2, 4} {
+		var total uint64
+		var mu sync.Mutex
+		msg.Run(np, func(c *msg.Comm) {
+			e := NewParallel(c, scatterV(global, c), 0.15, 0.01)
+			e.Eval()
+			mu.Lock()
+			total += e.Counters.VortexPP
+			mu.Unlock()
+		})
+		totals[np] = total
+	}
+	for _, np := range []int{2, 4} {
+		ratio := float64(totals[np]) / float64(totals[1])
+		if ratio < 0.98 || ratio > 1.02 {
+			t.Errorf("np=%d interaction count %d vs np=1 %d (ratio %.3f)", np, totals[np], totals[1], ratio)
+		}
+	}
+}
