@@ -1,0 +1,12 @@
+# Convenience entry points; scripts/check.sh is the source of truth
+# for what "green" means.
+
+check:
+	sh scripts/check.sh
+
+# Regenerate the committed performance baseline (ablation benches at
+# one iteration each, parsed to JSON by cmd/benchdump).
+bench-baseline:
+	go test -run='^$$' -bench=Ablation -benchtime=1x . | go run ./cmd/benchdump -o BENCH_baseline.json
+
+.PHONY: check bench-baseline

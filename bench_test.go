@@ -213,6 +213,69 @@ func BenchmarkAblation_GroupSize4(b *testing.B)  { benchGravity(b, grav.DefaultM
 func BenchmarkAblation_GroupSize16(b *testing.B) { benchGravity(b, grav.DefaultMAC(), 16) }
 func BenchmarkAblation_GroupSize64(b *testing.B) { benchGravity(b, grav.DefaultMAC(), 64) }
 
+// --- fused vs batched (interaction-list) force evaluation ----------------
+//
+// The perf guardrail of the two-phase walk: the list-based path must
+// beat the fused walk on a 100k-body clustered problem with
+// quadrupoles on, with byte-identical interaction counts. Run both
+// with -benchtime=1x for the BENCH_baseline.json trajectory.
+
+func batchedBenchTree(b *testing.B) *tree.Tree {
+	sys, d := buildCluster(100000)
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-3, Quad: true}
+	return tree.Build(sys, d, mac, 16)
+}
+
+func benchBatchedGravity(b *testing.B, fused bool) {
+	tr := batchedBenchTree(b)
+	cList := tr.Gravity(1e-6)
+	cFused := tr.GravityFused(1e-6)
+	if cList.PP != cFused.PP || cList.PC != cFused.PC || cList.QuadPC != cFused.QuadPC {
+		b.Fatalf("interaction counts diverge: list PP=%d PC=%d, fused PP=%d PC=%d",
+			cList.PP, cList.PC, cFused.PP, cFused.PC)
+	}
+	b.ResetTimer()
+	var ctr diag.Counters
+	for i := 0; i < b.N; i++ {
+		if fused {
+			ctr = tr.GravityFused(1e-6)
+		} else {
+			ctr = tr.Gravity(1e-6)
+		}
+	}
+	b.ReportMetric(float64(ctr.Interactions()), "interactions/op")
+}
+
+func BenchmarkAblation_BatchedList(b *testing.B)  { benchBatchedGravity(b, false) }
+func BenchmarkAblation_BatchedFused(b *testing.B) { benchBatchedGravity(b, true) }
+
+// Steady-state concurrent evaluation through a persistent ForcePool:
+// allocs/op must be 0 (per-worker pooled walkers, lists and SoA
+// blocks; pre-allocated wake/done channels).
+func BenchmarkAblation_BatchedConcurrentAllocs(b *testing.B) {
+	tr := batchedBenchTree(b)
+	pool := tree.NewForcePool(0)
+	defer pool.Close()
+	pool.Gravity(tr, 1e-6) // warm-up to the buffers' high-water mark
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Gravity(tr, 1e-6)
+	}
+}
+
+// GroupSphere runs once per group per evaluation (it gates every MAC
+// test), so its scalar rewrite is tracked alongside the kernels.
+func BenchmarkAblation_GroupSphere(b *testing.B) {
+	sys, _ := buildCluster(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo+16 <= sys.Len(); lo += 16 {
+			tree.GroupSphere(sys.Pos[lo : lo+16])
+		}
+	}
+}
+
 func BenchmarkAblation_HashTable(b *testing.B) {
 	t := htab.New[int](1 << 14)
 	ks := make([]keys.Key, 1<<14)

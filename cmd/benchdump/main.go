@@ -1,0 +1,123 @@
+// Command benchdump converts `go test -bench` output into a stable
+// JSON baseline, so successive PRs can diff performance instead of
+// eyeballing bench logs:
+//
+//	go test -run=NONE -bench=Ablation -benchtime=1x . | go run ./cmd/benchdump -o BENCH_baseline.json
+//
+// Every benchmark line becomes a name plus a metric map (ns/op,
+// B/op, allocs/op, and any custom b.ReportMetric units). Header lines
+// (goos/goarch/cpu) are captured into the envelope. Output is sorted
+// by name and deterministic for a given input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the emitted document.
+type Baseline struct {
+	Go         string  `json:"go"`
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	base := Baseline{Go: runtime.Version()}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			base.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			base.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			base.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			base.Benchmarks = append(base.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump: read:", err)
+		os.Exit(1)
+	}
+	sort.Slice(base.Benchmarks, func(i, j int) bool {
+		return base.Benchmarks[i].Name < base.Benchmarks[j].Name
+	})
+
+	enc, err := json.MarshalIndent(&base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump: encode:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses "BenchmarkFoo-8  4  123 ns/op  7 B/op  0.5 x/op".
+// Fields after the iteration count come in (value, unit) pairs.
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so baselines diff across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

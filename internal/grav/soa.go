@@ -1,0 +1,396 @@
+// Batched, structure-of-arrays force evaluation: the "build an
+// interaction list, then evaluate it in one dense sweep" split that
+// the GRAPE-coupled treecodes use. A tree walk appends every accepted
+// interaction into an InteractionList (flat SoA buffers), and the
+// Eval* kernels then apply the whole list to a Targets block without
+// touching the tree, the hash table, or any AoS accumulator in the
+// inner loop.
+//
+// Each kernel is a three-sweep pipeline per target: distances into a
+// scratch column, one batched Karp reciprocal-square-root sweep
+// (karpSweep -- the same table seed and two Newton iterations as
+// rsqrt.Rsqrt, inlined into a dependence-free loop so iterations
+// overlap), then the force application with the target's four
+// accumulators held in registers. Interaction counts, and hence the
+// 38-flop accounting in internal/diag, are identical to the fused
+// kernels'.
+package grav
+
+import (
+	"math"
+
+	"repro/internal/rsqrt"
+	"repro/internal/vec"
+)
+
+// InteractionList is the flat interaction list one group accumulates
+// during a tree walk: body sources as SoA position/mass columns, and
+// accepted cell multipoles as an SoA slab (only the ten moments the
+// kernels read; B2/Bmax are MAC-time data and stay out of the hot
+// columns). The group's own leaf is not copied into the source
+// columns; Self records that it was accepted, and EvalSelf evaluates
+// it directly from the Targets block (keeping the self-pair skip, and
+// hence the PP count, exact).
+//
+// All storage is reused across Reset calls, so a long-lived list
+// allocates only until its buffers reach the high-water mark.
+type InteractionList struct {
+	// SX, SY, SZ, SM are the source bodies' coordinates and masses.
+	SX, SY, SZ, SM []float64
+	// CM, CX, CY, CZ are the accepted cells' masses and centers of
+	// mass; QXX..QYZ their traceless quadrupoles.
+	CM, CX, CY, CZ               []float64
+	QXX, QYY, QZZ, QXY, QXZ, QYZ []float64
+	// Self records that the group's own leaf interacts with itself.
+	Self bool
+}
+
+// Reset empties the list, keeping capacity.
+func (l *InteractionList) Reset() {
+	l.SX, l.SY, l.SZ, l.SM = l.SX[:0], l.SY[:0], l.SZ[:0], l.SM[:0]
+	l.CM, l.CX, l.CY, l.CZ = l.CM[:0], l.CX[:0], l.CY[:0], l.CZ[:0]
+	l.QXX, l.QYY, l.QZZ = l.QXX[:0], l.QYY[:0], l.QZZ[:0]
+	l.QXY, l.QXZ, l.QYZ = l.QXY[:0], l.QXZ[:0], l.QYZ[:0]
+	l.Self = false
+}
+
+// AddBodies appends a leaf's bodies to the source columns.
+func (l *InteractionList) AddBodies(pos []vec.V3, mass []float64) {
+	for i := range pos {
+		l.SX = append(l.SX, pos[i].X)
+		l.SY = append(l.SY, pos[i].Y)
+		l.SZ = append(l.SZ, pos[i].Z)
+	}
+	l.SM = append(l.SM, mass...)
+}
+
+// AddCell appends an accepted cell multipole to the slab.
+func (l *InteractionList) AddCell(mp *Multipole) {
+	l.CM = append(l.CM, mp.M)
+	l.CX = append(l.CX, mp.COM.X)
+	l.CY = append(l.CY, mp.COM.Y)
+	l.CZ = append(l.CZ, mp.COM.Z)
+	l.QXX = append(l.QXX, mp.Q.XX)
+	l.QYY = append(l.QYY, mp.Q.YY)
+	l.QZZ = append(l.QZZ, mp.Q.ZZ)
+	l.QXY = append(l.QXY, mp.Q.XY)
+	l.QXZ = append(l.QXZ, mp.Q.XZ)
+	l.QYZ = append(l.QYZ, mp.Q.YZ)
+}
+
+// NSources returns the number of body sources in the list.
+func (l *InteractionList) NSources() int { return len(l.SM) }
+
+// Caps returns the list's storage capacities in source rows and slab
+// rows. With Grow it lets a worker pool level all its lists to the
+// fleet-wide high-water mark, so nondeterministic work assignment
+// cannot ask any list for more than it has already got.
+func (l *InteractionList) Caps() (nbodies, ncells int) {
+	return cap(l.SM), cap(l.CM)
+}
+
+// Grow raises the list's storage capacities to at least nbodies
+// source rows and ncells slab rows, preserving contents.
+func (l *InteractionList) Grow(nbodies, ncells int) {
+	growCap(&l.SX, nbodies)
+	growCap(&l.SY, nbodies)
+	growCap(&l.SZ, nbodies)
+	growCap(&l.SM, nbodies)
+	growCap(&l.CM, ncells)
+	growCap(&l.CX, ncells)
+	growCap(&l.CY, ncells)
+	growCap(&l.CZ, ncells)
+	growCap(&l.QXX, ncells)
+	growCap(&l.QYY, ncells)
+	growCap(&l.QZZ, ncells)
+	growCap(&l.QXY, ncells)
+	growCap(&l.QXZ, ncells)
+	growCap(&l.QYZ, ncells)
+}
+
+// growCap raises a slice's capacity to at least n, keeping contents.
+func growCap(s *[]float64, n int) {
+	if cap(*s) < n {
+		grown := make([]float64, len(*s), n)
+		copy(grown, *s)
+		*s = grown
+	}
+}
+
+// NCells returns the number of cell multipoles in the list.
+func (l *InteractionList) NCells() int { return len(l.CM) }
+
+// Cell reconstructs slab entry i as a Multipole (B2/Bmax, which the
+// slab does not carry, are zero). For tests and replay tools.
+func (l *InteractionList) Cell(i int) Multipole {
+	return Multipole{
+		M:   l.CM[i],
+		COM: vec.V3{X: l.CX[i], Y: l.CY[i], Z: l.CZ[i]},
+		Q: vec.Sym3{
+			XX: l.QXX[i], YY: l.QYY[i], ZZ: l.QZZ[i],
+			XY: l.QXY[i], XZ: l.QXZ[i], YZ: l.QYZ[i],
+		},
+	}
+}
+
+// Targets is the reusable SoA block for one group of targets:
+// gathered positions and masses, the acceleration/potential
+// accumulators the batched kernels write, and the two scratch columns
+// of the distance/rsqrt/apply pipeline. Load/Store convert to and
+// from the AoS representation the rest of the code uses; between them
+// the kernels never touch []vec.V3.
+type Targets struct {
+	X, Y, Z, M      []float64
+	AX, AY, AZ, Pot []float64
+	r2, ri          []float64
+}
+
+// growF returns s resized to n, reusing capacity.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Load gathers a group into the SoA block and zeroes the
+// accumulators. mass may be nil when no self-interaction will be
+// evaluated.
+func (t *Targets) Load(pos []vec.V3, mass []float64) {
+	n := len(pos)
+	t.X, t.Y, t.Z = growF(t.X, n), growF(t.Y, n), growF(t.Z, n)
+	t.AX, t.AY, t.AZ, t.Pot = growF(t.AX, n), growF(t.AY, n), growF(t.AZ, n), growF(t.Pot, n)
+	for i := range pos {
+		t.X[i], t.Y[i], t.Z[i] = pos[i].X, pos[i].Y, pos[i].Z
+		t.AX[i], t.AY[i], t.AZ[i], t.Pot[i] = 0, 0, 0, 0
+	}
+	if mass != nil {
+		t.M = growF(t.M, n)
+		copy(t.M, mass)
+	} else {
+		t.M = t.M[:0]
+	}
+}
+
+// Store scatters the accumulators back, overwriting acc and pot.
+func (t *Targets) Store(acc []vec.V3, pot []float64) {
+	for i := range acc {
+		acc[i] = vec.V3{X: t.AX[i], Y: t.AY[i], Z: t.AZ[i]}
+		pot[i] = t.Pot[i]
+	}
+}
+
+// Caps returns the block's capacities in targets and scratch rows
+// (see InteractionList.Caps for why pools want these).
+func (t *Targets) Caps() (ntargets, nscratch int) {
+	return cap(t.X), cap(t.r2)
+}
+
+// Grow raises the block's capacities to at least ntargets rows and
+// nscratch pipeline rows.
+func (t *Targets) Grow(ntargets, nscratch int) {
+	growCap(&t.X, ntargets)
+	growCap(&t.Y, ntargets)
+	growCap(&t.Z, ntargets)
+	growCap(&t.M, ntargets)
+	growCap(&t.AX, ntargets)
+	growCap(&t.AY, ntargets)
+	growCap(&t.AZ, ntargets)
+	growCap(&t.Pot, ntargets)
+	growCap(&t.r2, nscratch)
+	growCap(&t.ri, nscratch)
+}
+
+// karpSweep fills dst with the Karp reciprocal square root of each
+// src element: the table seed plus two Newton iterations of
+// rsqrt.Rsqrt inlined into one loop, bit-identical to calling Rsqrt
+// per element. Iterations are independent, so the ~20-cycle seed and
+// Newton dependence chains of consecutive elements overlap -- this is
+// where the batched pipeline beats calling the (non-inlinable)
+// scalar routine once per interaction. Special arguments (zero,
+// subnormal, infinite, NaN) take the scalar fallback.
+// oddFold multiplies the mantissa by 1 or 2 depending on exponent
+// parity; a table load instead of a branch, because the parity is
+// effectively random across interactions and a branch there costs a
+// mispredict on half of them.
+var oddFold = [2]float64{1, 2}
+
+func karpSweep(dst, src []float64) {
+	c0, c1, c2 := rsqrt.SeedTables()
+	dst = dst[:len(src)]
+	for i, x := range src {
+		b := math.Float64bits(x)
+		e := int(b >> 52)
+		if e == 0 || e >= 0x7FF {
+			dst[i] = rsqrt.Rsqrt(x) // zero, subnormal, negative, Inf, NaN
+			continue
+		}
+		e -= 1023
+		odd := e & 1
+		e -= odd
+		m := math.Float64frombits(b&0x000FFFFFFFFFFFFF|0x3FF0000000000000) * oddFold[odd]
+		k := int((m - 1.0) * (1.0 / rsqrt.IntervalWidth))
+		if k >= rsqrt.TableSize {
+			k = rsqrt.TableSize - 1
+		}
+		t := m - (1.0 + float64(k)*rsqrt.IntervalWidth)
+		y := c0[k] + t*(c1[k]+t*c2[k])
+		y = y * (1.5 - 0.5*m*y*y)
+		y = y * (1.5 - 0.5*m*y*y)
+		dst[i] = y * math.Float64frombits(uint64(-e/2+1023)<<52)
+	}
+}
+
+// EvalPP applies every body source of the list to every target: the
+// batched form of PPTile. Target-major: the target position and its
+// four accumulators stay in registers across the whole source sweep,
+// and the sources stream from four contiguous columns. Returns the
+// interaction count.
+func EvalPP(t *Targets, l *InteractionList, eps2 float64) uint64 {
+	ns := len(l.SM)
+	nt := len(t.X)
+	if ns == 0 || nt == 0 {
+		return 0
+	}
+	t.r2, t.ri = growF(t.r2, ns), growF(t.ri, ns)
+	sx, sy, sz, sm := l.SX[:ns], l.SY[:ns], l.SZ[:ns], l.SM
+	for i := 0; i < nt; i++ {
+		xi, yi, zi := t.X[i], t.Y[i], t.Z[i]
+		r2 := t.r2
+		for j := range sm {
+			dx := sx[j] - xi
+			dy := sy[j] - yi
+			dz := sz[j] - zi
+			r2[j] = dx*dx + dy*dy + dz*dz + eps2
+		}
+		karpSweep(t.ri, r2)
+		ax, ay, az := t.AX[i], t.AY[i], t.AZ[i]
+		p := t.Pot[i]
+		ri := t.ri
+		for j := range sm {
+			dx := sx[j] - xi
+			dy := sy[j] - yi
+			dz := sz[j] - zi
+			rinv := ri[j]
+			rinv3 := sm[j] * rinv * rinv * rinv
+			ax += rinv3 * dx
+			ay += rinv3 * dy
+			az += rinv3 * dz
+			p -= sm[j] * rinv
+		}
+		t.AX[i], t.AY[i], t.AZ[i] = ax, ay, az
+		t.Pot[i] = p
+	}
+	return uint64(nt) * uint64(ns)
+}
+
+// EvalSelf evaluates the group's interaction with itself (both
+// directions of every pair, self-pairs skipped): the batched form of
+// PPSelf, reading sources from the target block's own columns.
+// Targets must have been loaded with masses. Returns the interaction
+// count.
+func EvalSelf(t *Targets, eps2 float64) uint64 {
+	n := len(t.X)
+	if n == 0 {
+		return 0
+	}
+	t.r2, t.ri = growF(t.r2, n), growF(t.ri, n)
+	for i := 0; i < n; i++ {
+		xi, yi, zi := t.X[i], t.Y[i], t.Z[i]
+		r2 := t.r2
+		for j := 0; j < n; j++ {
+			dx := t.X[j] - xi
+			dy := t.Y[j] - yi
+			dz := t.Z[j] - zi
+			r2[j] = dx*dx + dy*dy + dz*dz + eps2
+		}
+		r2[i] = 1 // keep the skipped self slot off the fallback path
+		karpSweep(t.ri, r2)
+		ax, ay, az := t.AX[i], t.AY[i], t.AZ[i]
+		p := t.Pot[i]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dx := t.X[j] - xi
+			dy := t.Y[j] - yi
+			dz := t.Z[j] - zi
+			rinv := t.ri[j]
+			rinv3 := t.M[j] * rinv * rinv * rinv
+			ax += rinv3 * dx
+			ay += rinv3 * dy
+			az += rinv3 * dz
+			p -= t.M[j] * rinv
+		}
+		t.AX[i], t.AY[i], t.AZ[i] = ax, ay, az
+		t.Pot[i] = p
+	}
+	return uint64(n) * uint64(n-1)
+}
+
+// EvalM2P applies every multipole of the list's slab to every target:
+// the batched form of M2P, with the same pipeline as EvalPP and the
+// quad branch hoisted out of the sweeps. Returns the interaction
+// count (one per target per cell).
+func EvalM2P(t *Targets, l *InteractionList, quad bool, eps2 float64) uint64 {
+	nc := len(l.CM)
+	nt := len(t.X)
+	if nc == 0 || nt == 0 {
+		return 0
+	}
+	t.r2, t.ri = growF(t.r2, nc), growF(t.ri, nc)
+	cm, cx, cy, cz := l.CM, l.CX[:nc], l.CY[:nc], l.CZ[:nc]
+	for i := 0; i < nt; i++ {
+		xi, yi, zi := t.X[i], t.Y[i], t.Z[i]
+		r2 := t.r2
+		for c := range cm {
+			dx := xi - cx[c]
+			dy := yi - cy[c]
+			dz := zi - cz[c]
+			r2[c] = dx*dx + dy*dy + dz*dz + eps2
+		}
+		karpSweep(t.ri, r2)
+		ax, ay, az := t.AX[i], t.AY[i], t.AZ[i]
+		p := t.Pot[i]
+		ri := t.ri
+		if quad {
+			qxx, qyy, qzz := l.QXX[:nc], l.QYY[:nc], l.QZZ[:nc]
+			qxy, qxz, qyz := l.QXY[:nc], l.QXZ[:nc], l.QYZ[:nc]
+			for c := range cm {
+				dx := xi - cx[c]
+				dy := yi - cy[c]
+				dz := zi - cz[c]
+				rinv := ri[c]
+				rinv2 := rinv * rinv
+				rinv3 := rinv * rinv2
+				mono := cm[c] * rinv3
+				qdx := qxx[c]*dx + qxy[c]*dy + qxz[c]*dz
+				qdy := qxy[c]*dx + qyy[c]*dy + qyz[c]*dz
+				qdz := qxz[c]*dx + qyz[c]*dy + qzz[c]*dz
+				dqd := dx*qdx + dy*qdy + dz*qdz
+				rinv5 := rinv3 * rinv2
+				rinv7 := rinv5 * rinv2
+				cc := 2.5 * dqd * rinv7
+				ax += qdx*rinv5 - cc*dx - mono*dx
+				ay += qdy*rinv5 - cc*dy - mono*dy
+				az += qdz*rinv5 - cc*dz - mono*dz
+				p -= cm[c]*rinv + 0.5*dqd*rinv5
+			}
+		} else {
+			for c := range cm {
+				dx := xi - cx[c]
+				dy := yi - cy[c]
+				dz := zi - cz[c]
+				rinv := ri[c]
+				mono := cm[c] * rinv * rinv * rinv
+				ax -= mono * dx
+				ay -= mono * dy
+				az -= mono * dz
+				p -= cm[c] * rinv
+			}
+		}
+		t.AX[i], t.AY[i], t.AZ[i] = ax, ay, az
+		t.Pot[i] = p
+	}
+	return uint64(nt) * uint64(nc)
+}

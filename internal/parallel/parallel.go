@@ -342,17 +342,16 @@ func (e *Engine) walkAll() {
 		for _, gk := range deferred {
 			g := e.Local.Cell(gk)
 			lo, hi := g.First, g.First+g.N
-			for i := lo; i < hi; i++ {
-				sys.Acc[i] = vec.V3{}
-				sys.Pot[i] = 0
-			}
 			// Snapshot so a deferred group's discarded partial walk
-			// does not inflate the interaction (and hence flop)
-			// counts: the paper's performance accounting rides on
-			// these counters being exact.
+			// does not inflate the traversal counts: the paper's
+			// performance accounting rides on these counters being
+			// exact. (Interaction counts only accrue in Evaluate, which
+			// runs once per completed walk; a re-walk after the data
+			// arrives reuses the Walker's list storage.)
 			snapshot := e.Counters
-			missing := w.Walk(src, gk, sys.Pos[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, e.Cfg.MAC.Quad, &e.Counters)
+			missing := w.Walk(src, gk, sys.Pos[lo:hi], &e.Counters)
 			if missing == nil {
+				w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, e.Cfg.MAC.Quad, &e.Counters)
 				if g.N > 0 {
 					per := float64(e.Counters.PP+e.Counters.PC-snapshot.PP-snapshot.PC) / float64(g.N)
 					for i := lo; i < hi; i++ {

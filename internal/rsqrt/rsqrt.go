@@ -118,6 +118,22 @@ func rsqrtN(x float64, iters int) float64 {
 	return y * math.Float64frombits(uint64(-e/2+1023)<<52)
 }
 
+// TableSize and IntervalWidth describe the seed table layout for
+// callers that inline the Karp sequence into their own loops (the
+// batched SoA kernels in internal/grav: the scalar routine is too
+// large for the compiler's inlining budget, so their batch sweep
+// replicates the hot path and uses SeedTables for the coefficients).
+const (
+	TableSize     = tableSize
+	IntervalWidth = intervalWidth
+)
+
+// SeedTables returns the Chebyshev seed coefficient tables. The
+// arrays are read-only after package init.
+func SeedTables() (c0, c1, c2 *[TableSize]float64) {
+	return &seedC0, &seedC1, &seedC2
+}
+
 // Flops is the number of floating point operations the paper charges
 // for one gravitational interaction built on this kernel.
 const Flops = 38

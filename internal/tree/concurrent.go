@@ -1,83 +1,21 @@
 package tree
 
-import (
-	"runtime"
-	"sync"
-
-	"repro/internal/diag"
-	"repro/internal/vec"
-)
+import "repro/internal/diag"
 
 // GravityConcurrent is Gravity with the group loop fanned out over
 // host goroutines (shared-memory parallelism inside one simulated
 // "processor" -- the analogue of the paper's use of both CPUs of each
-// ASCI Red node as compute processors). Groups write disjoint body
-// ranges, so workers share the tree read-only and never contend.
+// ASCI Red node as compute processors). It spins up a transient
+// ForcePool; callers with a per-step hot loop should hold a
+// ForcePool themselves so the workers (and their pooled interaction
+// lists) persist and the steady state allocates nothing.
 // workers <= 0 uses GOMAXPROCS. Results are identical to Gravity
 // (same per-group arithmetic, no cross-group reductions).
 func (t *Tree) GravityConcurrent(eps2 float64, workers int) diag.Counters {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers == 1 {
 		return t.Gravity(eps2)
 	}
-	sys := t.Sys
-	ctrs := make([]diag.Counters, workers)
-	var next int64
-	var mu sync.Mutex
-	take := func(batch int) (int, int) {
-		mu.Lock()
-		defer mu.Unlock()
-		lo := int(next)
-		if lo >= len(t.Groups) {
-			return 0, 0
-		}
-		hi := lo + batch
-		if hi > len(t.Groups) {
-			hi = len(t.Groups)
-		}
-		next = int64(hi)
-		return lo, hi
-	}
-
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			var w Walker
-			ctr := &ctrs[wk]
-			for {
-				glo, ghi := take(8)
-				if glo == ghi {
-					return
-				}
-				for _, gk := range t.Groups[glo:ghi] {
-					g := t.Cell(gk)
-					lo, hi := g.First, g.First+g.N
-					for i := lo; i < hi; i++ {
-						sys.Acc[i] = vec.V3{}
-						sys.Pot[i] = 0
-					}
-					before := ctr.PP + ctr.PC
-					if m := w.Walk(t, gk, sys.Pos[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], eps2, t.MAC.Quad, ctr); m != nil {
-						panic("tree: concurrent walk reported missing cells")
-					}
-					if g.N > 0 {
-						per := float64(ctr.PP+ctr.PC-before) / float64(g.N)
-						for i := lo; i < hi; i++ {
-							sys.Work[i] = per
-						}
-					}
-				}
-			}
-		}(wk)
-	}
-	wg.Wait()
-	var total diag.Counters
-	for i := range ctrs {
-		total.Add(ctrs[i])
-	}
-	return total
+	p := NewForcePool(workers)
+	defer p.Close()
+	return p.Gravity(t, eps2)
 }

@@ -1,0 +1,26 @@
+//go:build !race
+
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/grav"
+)
+
+// The issue's guardrail: a persistent ForcePool must reach a
+// zero-allocation steady state -- walkers, interaction lists and SoA
+// blocks are all pooled per worker, and the wake/done signalling uses
+// pre-allocated channels. (Skipped under -race: the detector's
+// instrumentation charges shadow allocations to the test.)
+func TestForcePoolSteadyStateAllocatesNothing(t *testing.T) {
+	sys, d := cloud(5000, 23)
+	tr := Build(sys, d, grav.DefaultMAC(), 16)
+	p := NewForcePool(4)
+	defer p.Close()
+	p.Gravity(tr, 1e-6) // warm-up: buffers reach their high-water mark
+	allocs := testing.AllocsPerRun(5, func() { p.Gravity(tr, 1e-6) })
+	if allocs != 0 {
+		t.Fatalf("steady-state pool evaluation allocates %v times per call", allocs)
+	}
+}

@@ -272,9 +272,7 @@ func TestWalkMissingCells(t *testing.T) {
 	g := tr.Cell(gk)
 	var ctr diag.Counters
 	pos := sys.Pos[g.First : g.First+g.N]
-	acc := make([]vec.V3, len(pos))
-	pot := make([]float64, len(pos))
-	missing := w.Walk(src, gk, pos, acc, pot, 1e-6, true, &ctr)
+	missing := w.Walk(src, gk, pos, &ctr)
 	// The last group is spatially far from child(first); it may have
 	// accepted the hidden cell's parent... the hidden child itself is
 	// only missing if the walk tried to open it.

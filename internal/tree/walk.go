@@ -1,6 +1,8 @@
 package tree
 
 import (
+	"math"
+
 	"repro/internal/diag"
 	"repro/internal/grav"
 	"repro/internal/keys"
@@ -23,44 +25,150 @@ type Source interface {
 	Root() keys.Key
 }
 
-// Walker holds the reusable state of group traversals (the stack), so
-// per-group allocations are amortized away.
+// Walker holds the reusable state of group traversals: the stack, the
+// missing-key buffer, the interaction list the walk fills, and the
+// SoA target block Evaluate uses. One long-lived Walker per worker
+// amortizes every per-group allocation away.
 type Walker struct {
 	stack   []keys.Key
 	missing []keys.Key
+	// List is the interaction list built by the last Walk.
+	List grav.InteractionList
+	tg   grav.Targets
 }
 
 // GroupSphere returns the bounding sphere of a body set: midpoint of
-// the coordinate bounds and the max distance to it.
+// the coordinate bounds and the max distance to it. It runs once per
+// group per force evaluation, so it is kept allocation-free and
+// sqrt-free in the loops: scalar branch min/max for the bounds, then
+// a squared-distance max with the single square root taken at the
+// end. (The radius genuinely needs the second pass: the center is not
+// known until the bounds are, and max |p-c| does not decompose per
+// coordinate. The second pass is 8 flops per body, no calls.)
 func GroupSphere(pos []vec.V3) (center vec.V3, radius float64) {
 	if len(pos) == 0 {
 		return vec.V3{}, 0
 	}
-	lo, hi := pos[0], pos[0]
-	for _, p := range pos[1:] {
-		lo = vec.Min(lo, p)
-		hi = vec.Max(hi, p)
-	}
-	center = lo.Add(hi).Scale(0.5)
-	for _, p := range pos {
-		if d := p.Sub(center).Norm(); d > radius {
-			radius = d
+	lox, loy, loz := pos[0].X, pos[0].Y, pos[0].Z
+	hix, hiy, hiz := lox, loy, loz
+	for i := 1; i < len(pos); i++ {
+		x, y, z := pos[i].X, pos[i].Y, pos[i].Z
+		if x < lox {
+			lox = x
+		} else if x > hix {
+			hix = x
+		}
+		if y < loy {
+			loy = y
+		} else if y > hiy {
+			hiy = y
+		}
+		if z < loz {
+			loz = z
+		} else if z > hiz {
+			hiz = z
 		}
 	}
-	return center, radius
+	cx, cy, cz := 0.5*(lox+hix), 0.5*(loy+hiy), 0.5*(loz+hiz)
+	var r2max float64
+	for i := range pos {
+		dx := pos[i].X - cx
+		dy := pos[i].Y - cy
+		dz := pos[i].Z - cz
+		if r2 := dx*dx + dy*dy + dz*dz; r2 > r2max {
+			r2max = r2
+		}
+	}
+	return vec.V3{X: cx, Y: cy, Z: cz}, math.Sqrt(r2max)
 }
 
-// Walk traverses src for one group of bodies and accumulates the
-// gravitational acceleration and potential into acc and pot (parallel
-// slices of gpos, NOT zeroed here). groupKey identifies the group's
-// own leaf so its self-interaction uses the self kernel.
+// Walk traverses src for one group of bodies and builds the group's
+// interaction list in w.List (phase 1 of the two-phase evaluation):
+// accepted multipoles go to the cell slab, leaf bodies are gathered
+// into the SoA source columns, and the group's own leaf sets the Self
+// flag. No forces are computed here -- call Evaluate afterwards.
+// groupKey identifies the group's own leaf.
 //
 // If any needed cell is unavailable the traversal keeps going to
-// collect every missing key (so one communication round batches all of
-// them, the asynchronous-batched-messages pattern) and returns them;
-// the partial accumulation must then be discarded and the group
-// re-walked after the data arrives.
-func (w *Walker) Walk(src Source, groupKey keys.Key, gpos []vec.V3, acc []vec.V3, pot []float64, eps2 float64, quad bool, ctr *diag.Counters) (missing []keys.Key) {
+// collect every missing key (so one communication round batches all
+// of them, the asynchronous-batched-messages pattern) and returns
+// them; the partial list must then be discarded and the group
+// re-walked after the data arrives (Walk resets w.List, so re-walking
+// with the same Walker reuses the storage).
+func (w *Walker) Walk(src Source, groupKey keys.Key, gpos []vec.V3, ctr *diag.Counters) (missing []keys.Key) {
+	gc, gr := GroupSphere(gpos)
+	w.stack = w.stack[:0]
+	w.missing = w.missing[:0]
+	w.List.Reset()
+	w.stack = append(w.stack, src.Root())
+	for len(w.stack) > 0 {
+		k := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		c := src.Cell(k)
+		if c == nil {
+			w.missing = append(w.missing, k)
+			continue
+		}
+		ctr.Traversals++
+		if c.Mp.M == 0 {
+			continue // empty cell contributes nothing
+		}
+		d := c.Mp.COM.Sub(gc).Norm()
+		if d-gr > c.RCrit && d > gr {
+			w.List.AddCell(&c.Mp)
+			continue
+		}
+		if c.Leaf {
+			if c.Key == groupKey {
+				w.List.Self = true
+			} else {
+				spos, smass := src.LeafBodies(c)
+				w.List.AddBodies(spos, smass)
+			}
+			continue
+		}
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				w.stack = append(w.stack, k.Child(oct))
+			}
+		}
+	}
+	if len(w.missing) > 0 {
+		return w.missing
+	}
+	return nil
+}
+
+// Evaluate applies the interaction list built by the last Walk to the
+// group (phase 2): gather the targets into the SoA block, sweep the
+// multipole slab and the source columns with the batched kernels, and
+// scatter the results, overwriting acc and pot. gmass is needed only
+// for the self-interaction (it may be nil when w.List.Self is false).
+// Interaction counts are identical to the fused walk's.
+func (w *Walker) Evaluate(gpos []vec.V3, gmass []float64, acc []vec.V3, pot []float64, eps2 float64, quad bool, ctr *diag.Counters) {
+	if w.List.Self {
+		w.tg.Load(gpos, gmass)
+	} else {
+		w.tg.Load(gpos, nil)
+	}
+	n := grav.EvalM2P(&w.tg, &w.List, quad, eps2)
+	ctr.PC += n
+	if quad {
+		ctr.QuadPC += n
+	}
+	ctr.PP += grav.EvalPP(&w.tg, &w.List, eps2)
+	if w.List.Self {
+		ctr.PP += grav.EvalSelf(&w.tg, eps2)
+	}
+	w.tg.Store(acc, pot)
+}
+
+// WalkFused is the original single-phase traversal: it evaluates each
+// accepted interaction as it is found, accumulating into acc and pot
+// (parallel slices of gpos, NOT zeroed here). It is retained as the
+// reference for the fused-vs-batched ablation and the equivalence
+// tests; production paths use Walk + Evaluate.
+func (w *Walker) WalkFused(src Source, groupKey keys.Key, gpos []vec.V3, acc []vec.V3, pot []float64, eps2 float64, quad bool, ctr *diag.Counters) (missing []keys.Key) {
 	gc, gr := GroupSphere(gpos)
 	w.stack = w.stack[:0]
 	w.missing = w.missing[:0]
@@ -107,11 +215,49 @@ func (w *Walker) Walk(src Source, groupKey keys.Key, gpos []vec.V3, acc []vec.V3
 	return nil
 }
 
-// Gravity runs a full serial force evaluation: for every group, zero
-// its accumulators, walk the tree, and record per-body work weights
-// for the next domain decomposition. The system must have dynamics
-// enabled. Returns the interaction counters.
+// gravityGroups runs the two-phase evaluation for the groups
+// [glo,ghi): list-build walk, batched evaluation, and the per-body
+// work weights for the next domain decomposition (the group's
+// interactions spread evenly over its bodies, exact to +-1 since
+// every body in a group shares the same interaction list). Shared by
+// the serial driver and the concurrent pool workers; with a reused
+// Walker the steady state allocates nothing.
+func (t *Tree) gravityGroups(w *Walker, ctr *diag.Counters, glo, ghi int, eps2 float64) {
+	sys := t.Sys
+	for _, gk := range t.Groups[glo:ghi] {
+		g := t.Cell(gk)
+		lo, hi := g.First, g.First+g.N
+		before := ctr.PP + ctr.PC
+		if m := w.Walk(t, gk, sys.Pos[lo:hi], ctr); m != nil {
+			panic("tree: serial walk reported missing cells")
+		}
+		w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], eps2, t.MAC.Quad, ctr)
+		if g.N > 0 {
+			per := float64(ctr.PP+ctr.PC-before) / float64(g.N)
+			for i := lo; i < hi; i++ {
+				sys.Work[i] = per
+			}
+		}
+	}
+}
+
+// Gravity runs a full serial force evaluation through the two-phase
+// (interaction-list) path: for every group, build its list, evaluate
+// it batched, and record per-body work weights. The system must have
+// dynamics enabled. Returns the interaction counters.
 func (t *Tree) Gravity(eps2 float64) diag.Counters {
+	var ctr diag.Counters
+	var w Walker
+	t.gravityGroups(&w, &ctr, 0, len(t.Groups), eps2)
+	return ctr
+}
+
+// GravityFused is the original fused-walk evaluation (traversal and
+// kernels interleaved, AoS accumulators). Kept as the baseline side
+// of the BenchmarkAblation_Batched* pair and for equivalence tests;
+// it produces the same interaction counts as Gravity and the same
+// forces to roundoff.
+func (t *Tree) GravityFused(eps2 float64) diag.Counters {
 	var ctr diag.Counters
 	var w Walker
 	sys := t.Sys
@@ -123,12 +269,9 @@ func (t *Tree) Gravity(eps2 float64) diag.Counters {
 			sys.Pot[i] = 0
 		}
 		before := ctr.PP + ctr.PC
-		if m := w.Walk(t, gk, sys.Pos[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], eps2, t.MAC.Quad, &ctr); m != nil {
+		if m := w.WalkFused(t, gk, sys.Pos[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], eps2, t.MAC.Quad, &ctr); m != nil {
 			panic("tree: serial walk reported missing cells")
 		}
-		// Per-body work estimate: the group's interactions spread
-		// evenly over its bodies (exact to +-1, since every body in a
-		// group shares the same interaction lists).
 		if g.N > 0 {
 			per := float64(ctr.PP+ctr.PC-before) / float64(g.N)
 			for i := lo; i < hi; i++ {

@@ -42,21 +42,23 @@ func TreeEval(sys *core.System, sigma, theta float64) ([]vec.V3, diag.Counters) 
 		prefA[i+1] = prefA[i].Add(sys.Alpha[i])
 	}
 
+	// Two-phase evaluation, mirroring the gravity walker: phase 1
+	// builds the group's interaction list (SoA source columns plus a
+	// monopole slab), phase 2 sweeps it with the batched kernels in
+	// soa.go. The list, target block and stack persist across groups,
+	// so the per-group steady state allocates nothing.
 	dAlpha := make([]vec.V3, n)
 	s2 := sigma * sigma
 	var stack []keys.Key
+	var list vList
+	var tg vTargets
 	for _, gk := range tr.Groups {
 		g := tr.Cell(gk)
 		lo, hi := g.First, g.First+g.N
 		gpos := sys.Pos[lo:hi]
 		galpha := sys.Alpha[lo:hi]
-		gvel := sys.Vel[lo:hi]
-		gda := dAlpha[lo:hi]
-		for i := range gvel {
-			gvel[i] = vec.V3{}
-			gda[i] = vec.V3{}
-		}
 		gc, gr := tree.GroupSphere(gpos)
+		list.reset()
 		stack = stack[:0]
 		stack = append(stack, keys.Root)
 		for len(stack) > 0 {
@@ -69,17 +71,14 @@ func TreeEval(sys *core.System, sigma, theta float64) ([]vec.V3, diag.Counters) 
 			}
 			dd := c.Mp.COM.Sub(gc).Norm()
 			if dd-gr > c.RCrit && dd > gr {
-				m := cellMoment{
+				list.cells = append(list.cells, cellMoment{
 					ASum:     prefA[c.First+c.N].Sub(prefA[c.First]),
 					Centroid: c.Mp.COM,
-				}
-				velMono(gpos, galpha, gvel, gda, &m, s2, &ctr)
+				})
 				continue
 			}
 			if c.Leaf {
-				spos := sys.Pos[c.First : c.First+c.N]
-				salpha := sys.Alpha[c.First : c.First+c.N]
-				velTile(gpos, galpha, gvel, gda, spos, salpha, s2, &ctr)
+				list.addBodies(sys.Pos[c.First:c.First+c.N], sys.Alpha[c.First:c.First+c.N])
 				continue
 			}
 			for oct := 0; oct < 8; oct++ {
@@ -88,6 +87,10 @@ func TreeEval(sys *core.System, sigma, theta float64) ([]vec.V3, diag.Counters) 
 				}
 			}
 		}
+		tg.load(gpos, galpha)
+		ctr.VortexPP += evalVelMono(&tg, list.cells, s2)
+		ctr.VortexPP += evalVelPP(&tg, &list, s2)
+		tg.store(sys.Vel[lo:hi], dAlpha[lo:hi])
 	}
 	return dAlpha, ctr
 }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repo-wide check: build, vet, race tests, and the fused-vs-batched
+# benchmark smoke (one iteration each, enough to catch a kernel
+# regression or an allocation creeping into the steady state).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+echo "== go vet"
+go vet ./...
+echo "== go test -race"
+go test -race ./...
+echo "== bench smoke (Ablation_Batched, 1 iteration)"
+go test -run='^$' -bench=Ablation_Batched -benchtime=1x .
+echo "== ok"
