@@ -10,3 +10,10 @@ bench-baseline:
 	go test -run='^$$' -bench=Ablation -benchtime=1x . | go run ./cmd/benchdump -o BENCH_baseline.json
 
 .PHONY: check bench-baseline
+
+# Run just the benchmark guardrail: ablation benches at one iteration,
+# diffed against the committed baseline (fails on >15% regression).
+benchcmp:
+	go test -run='^$$' -bench=Ablation_Batched -benchtime=1x . | go run ./cmd/benchdump -compare BENCH_baseline.json -match Ablation_Batched -tol 0.15
+
+.PHONY: benchcmp

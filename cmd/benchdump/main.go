@@ -8,6 +8,14 @@
 // B/op, allocs/op, and any custom b.ReportMetric units). Header lines
 // (goos/goarch/cpu) are captured into the envelope. Output is sorted
 // by name and deterministic for a given input.
+//
+// With -compare it becomes the CI guardrail instead: fresh bench
+// output on stdin is diffed against the committed baseline, and the
+// exit status is 1 if any matched benchmark's ns/op regressed beyond
+// -tol, or its allocs/op grew at all:
+//
+//	go test -run=NONE -bench=Ablation_Batched -benchtime=1x . | \
+//	  go run ./cmd/benchdump -compare BENCH_baseline.json -match Ablation_Batched -tol 0.15
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -41,6 +50,9 @@ type Baseline struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to compare stdin against (compare mode)")
+	match := flag.String("match", "", "regexp restricting which benchmarks -compare checks")
+	tol := flag.Float64("tol", 0.15, "allowed fractional ns/op regression in -compare mode")
 	flag.Parse()
 
 	base := Baseline{Go: runtime.Version()}
@@ -77,6 +89,10 @@ func main() {
 		return base.Benchmarks[i].Name < base.Benchmarks[j].Name
 	})
 
+	if *compare != "" {
+		os.Exit(compareBaseline(base, *compare, *match, *tol))
+	}
+
 	enc, err := json.MarshalIndent(&base, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdump: encode:", err)
@@ -91,6 +107,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdump: write:", err)
 		os.Exit(1)
 	}
+}
+
+// compareBaseline diffs the freshly parsed benchmarks against the
+// committed baseline and returns the process exit code. A benchmark
+// regresses if its ns/op exceeds the baseline by more than tol, or
+// its allocs/op grew at all (steady-state allocation is a correctness
+// property of the batched walkers, not a tuning knob). Benchmarks in
+// the run but absent from the baseline are reported and skipped, so
+// adding a benchmark does not require regenerating the baseline in
+// the same change.
+func compareBaseline(cur Baseline, path, match string, tol float64) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump: baseline:", err)
+		return 1
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump: baseline:", err)
+		return 1
+	}
+	re, err := regexp.Compile(match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump: -match:", err)
+		return 1
+	}
+	baseBy := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	failed := false
+	checked := 0
+	for _, b := range cur.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		ref, ok := baseBy[b.Name]
+		if !ok {
+			fmt.Printf("%-44s not in baseline (skipped)\n", b.Name)
+			continue
+		}
+		checked++
+		curNs, refNs := b.Metrics["ns/op"], ref.Metrics["ns/op"]
+		status := "ok"
+		delta := 0.0
+		if refNs > 0 {
+			delta = curNs/refNs - 1
+			if delta > tol {
+				status = fmt.Sprintf("REGRESSED (> %+.0f%%)", tol*100)
+				failed = true
+			}
+		}
+		fmt.Printf("%-44s ns/op %14.0f -> %14.0f  %+6.1f%%  %s\n",
+			b.Name, refNs, curNs, delta*100, status)
+		if refAllocs, ok := ref.Metrics["allocs/op"]; ok {
+			if curAllocs := b.Metrics["allocs/op"]; curAllocs > refAllocs {
+				fmt.Printf("%-44s allocs/op %11.0f -> %11.0f  REGRESSED\n",
+					b.Name, refAllocs, curAllocs)
+				failed = true
+			}
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchdump: no benchmarks matched %q against the baseline\n", match)
+		return 1
+	}
+	if failed {
+		fmt.Println("benchdump: performance regression against", path)
+		return 1
+	}
+	fmt.Printf("benchdump: %d benchmark(s) within %.0f%% of %s\n", checked, tol*100, path)
+	return 0
 }
 
 // parseBenchLine parses "BenchmarkFoo-8  4  123 ns/op  7 B/op  0.5 x/op".

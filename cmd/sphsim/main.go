@@ -9,11 +9,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/ic"
 	"repro/internal/integrate"
+	"repro/internal/msg"
 	"repro/internal/sph"
 	"repro/internal/vec"
 )
@@ -23,11 +25,23 @@ func main() {
 	steps := flag.Int("steps", 150, "timesteps")
 	dt := flag.Float64("dt", 4e-3, "timestep")
 	cs := flag.Float64("cs", 0.8, "isothermal sound speed of the gas run")
+	procs := flag.Int("procs", 1, "in-process ranks (>1 runs the distributed engine)")
 	flag.Parse()
 
-	fmt.Printf("N = %d gas particles, %d steps of dt = %g\n\n", *n, *steps, *dt)
-	gas, ctrGas := run(*n, *steps, *dt, *cs)
-	control, ctrCtl := run(*n, *steps, *dt, 0)
+	fmt.Printf("N = %d gas particles, %d steps of dt = %g", *n, *steps, *dt)
+	if *procs > 1 {
+		fmt.Printf(" on %d ranks", *procs)
+	}
+	fmt.Printf("\n\n")
+	var gas, control *core.System
+	var ctrGas, ctrCtl diag.Counters
+	if *procs > 1 {
+		gas, ctrGas = runParallel(*n, *steps, *dt, *cs, *procs)
+		control, ctrCtl = runParallel(*n, *steps, *dt, 0, *procs)
+	} else {
+		gas, ctrGas = run(*n, *steps, *dt, *cs)
+		control, ctrCtl = run(*n, *steps, *dt, 0)
+	}
 
 	fGas := centralMassFraction(gas)
 	fCtl := centralMassFraction(control)
@@ -75,6 +89,62 @@ func run(n, steps int, dt, cs float64) (*core.System, diag.Counters) {
 	forces(sys)
 	integrate.Leapfrog(sys, forces, dt, steps)
 	return sys, total
+}
+
+// runParallel evolves the same gas sphere on the distributed engine:
+// each in-process rank owns a slab of particles and the hotengine
+// pipeline handles decomposition, halo exchange and the gravity walk.
+// The pressureless control disables viscosity along with the sound
+// speed, which zeroes the SPH acceleration exactly. Returns the
+// gathered global system and the summed counters.
+func runParallel(n, steps int, dt, cs float64, procs int) (*core.System, diag.Counters) {
+	p := sph.Params{EOS: sph.Isothermal, CS: cs, AlphaVisc: 1, BetaVisc: 2}
+	if cs == 0 {
+		p.AlphaVisc, p.BetaVisc = 0, 0
+	}
+
+	var mu sync.Mutex
+	var total diag.Counters
+	merged := core.New(0)
+	merged.EnableDynamics()
+	merged.EnableSPH()
+	msg.Run(procs, func(c *msg.Comm) {
+		global := ic.UniformSphere(n, 1.0, 99)
+		global.EnableSPH()
+		for i := range global.H {
+			global.H[i] = 0.1
+		}
+		lo, hi := c.Rank()*n/c.Size(), (c.Rank()+1)*n/c.Size()
+		local := core.New(0)
+		local.EnableDynamics()
+		local.EnableSPH()
+		for i := lo; i < hi; i++ {
+			local.AppendFrom(global, i)
+		}
+
+		e := sph.NewParallel(c, local, sph.ParallelConfig{
+			Params: p, Gravity: true, Eps2: 1e-4,
+		})
+		ctr := e.Eval()
+		for s := 0; s < steps; s++ {
+			ctr.Add(e.Step(dt))
+		}
+
+		mu.Lock()
+		defer mu.Unlock()
+		total.Add(ctr)
+		for i := 0; i < e.Sys.Len(); i++ {
+			merged.AppendFrom(e.Sys, i)
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("rank 0 phase breakdown (cs=%.2f):\n", cs)
+			for _, ph := range e.Timer.Phases() {
+				fmt.Printf("  %-12s %v\n", ph, e.Timer.Get(ph))
+			}
+			fmt.Printf("  rounds=%d remoteCells=%d\n", e.Rounds, e.RemoteCells)
+		}
+	})
+	return merged, total
 }
 
 // centralMassFraction returns the mass fraction within 0.1 of the

@@ -97,6 +97,11 @@ func (t *Timer) Stop() {
 // Get returns the accumulated time of a phase.
 func (t *Timer) Get(phase string) time.Duration { return t.phases[phase] }
 
+// Phases returns the phase names in first-start order.
+func (t *Timer) Phases() []string {
+	return append([]string(nil), t.order...)
+}
+
 // Total returns the sum over all phases.
 func (t *Timer) Total() time.Duration {
 	var sum time.Duration

@@ -1,0 +1,427 @@
+// Package hotengine is the distributed hashed oct-tree pipeline with
+// the physics factored out. The paper's central claim is that HOT is
+// a library: "the same program structure" -- work-weighted domain
+// decomposition, local tree build, branch allgather plus shared top
+// tree, deferred-group traversal with context switching, and rounds
+// of asynchronous batched messages -- serves gravity, vortex
+// dynamics, SPH and panel methods alike. This package is that shared
+// structure; a Physics implementation supplies what differs per
+// application: an optional per-cell moment payload and its combine
+// rule, the leaf body columns that travel in request replies, and any
+// per-evaluation precomputation. The gravity engine
+// (internal/parallel), the vortex engine (internal/vortex) and the
+// distributed SPH driver (internal/sph) are thin instantiations.
+//
+// One evaluation runs in the paper's four phases:
+//
+//  1. Domain decomposition: bodies move to processors as contiguous,
+//     work-weighted intervals of the Morton curve (internal/domain).
+//  2. Distributed tree build: each processor builds a local hashed
+//     oct-tree over its bodies, publishes its "branch" cells (the
+//     coarsest cells wholly inside its interval), and all processors
+//     assemble the identical shared top tree above the branches.
+//  3. Tree traversal with latency hiding: each leaf group walks the
+//     tree through Resolve, which checks the top tree, the local
+//     tree, and an imported-cell table. A miss defers the group (the
+//     paper's explicit context switch) and queues a batched request
+//     to the cell's owner (internal/abm).
+//  4. Rounds of batched request/reply run until every group finishes.
+//
+// The global key name space makes step 3 possible: any processor can
+// compute which cells it needs and who owns them from key arithmetic
+// plus the split table alone.
+package hotengine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/abm"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/domain"
+	"repro/internal/grav"
+	"repro/internal/htab"
+	"repro/internal/keys"
+	"repro/internal/msg"
+	"repro/internal/tree"
+)
+
+// Physics supplies the application-specific pieces of the pipeline.
+// X is the per-cell moment payload beyond the geometric multipole
+// every cell already carries (use None when the multipole suffices);
+// B is the leaf body payload of a request reply (SoA columns, e.g.
+// positions plus masses).
+type Physics[X, B any] interface {
+	// Prepare runs after decomposition, before the tree build, on the
+	// redistributed, key-sorted local system (e.g. vortex dynamics
+	// derives the structural masses from the strengths here).
+	Prepare(sys *core.System)
+	// PostBuild runs after the local tree build (e.g. prefix sums
+	// over per-body quantities for O(1) per-cell sums).
+	PostBuild(t *tree.Tree)
+	// Extra returns the payload of a local cell (branch publication
+	// and request serving).
+	Extra(c *tree.Cell) X
+	// CombineExtra folds a child's payload into an accumulating
+	// parent payload (top-tree ancestor assembly; acc starts at the
+	// zero X).
+	CombineExtra(acc, child X) X
+	// PackLeaf returns the body columns of a local leaf cell for a
+	// request reply. The slices may alias the physics' own storage;
+	// the importer copies.
+	PackLeaf(c *tree.Cell) B
+	// ImportLeaf copies n bodies from a reply payload into the
+	// physics' import arena, returning the arena start index the
+	// engine encodes into the cell's First sentinel.
+	ImportLeaf(n int32, b B) int32
+	// ResetImports discards the import arena (new exchange, or a
+	// re-fetch pass over updated remote data).
+	ResetImports()
+}
+
+// None is the empty per-cell payload, for physics whose cell moments
+// are fully carried by the geometric multipole.
+type None struct{}
+
+// Config controls the shared pipeline.
+type Config struct {
+	// MAC sets the opening criterion used for the local tree build
+	// and the top-tree ancestor RCrit values.
+	MAC    grav.MACParams
+	Bucket int
+	// MaxRounds bounds the request/reply rounds per walk phase as a
+	// deadlock backstop; 0 means the default (64).
+	MaxRounds int
+	// PhasePrefix prefixes the msg traffic phase labels (e.g. "v"
+	// keeps the vortex engine's historical "vtreebuild"/"vwalk"
+	// accounting separate from gravity's).
+	PhasePrefix string
+}
+
+// sentinelUnfetched marks a remote leaf whose bodies have not arrived.
+const sentinelUnfetched = int32(-1 << 30)
+
+// node is a cell plus its physics payload, the unit of the top and
+// imported tables.
+type node[X any] struct {
+	Cell  tree.Cell
+	Extra X
+}
+
+// Engine holds one rank's state across timesteps.
+type Engine[X, B any] struct {
+	C    *msg.Comm
+	Cfg  Config
+	Phys Physics[X, B]
+	// Sys is this rank's current local bodies (replaced by each
+	// Exchange with the redistributed, key-sorted system).
+	Sys *core.System
+
+	Domain keys.Domain
+	Splits []uint64
+	Local  *tree.Tree
+
+	top      *htab.Table[node[X]]
+	imported *htab.Table[node[X]]
+
+	// Counters accumulates interaction counts across evaluations.
+	Counters diag.Counters
+	// Timer accumulates per-phase wall time across evaluations
+	// (decompose, treebuild, branches, then one phase per walk).
+	Timer *diag.Timer
+	// Rounds is the number of request/reply rounds since the last
+	// Exchange; RemoteCells the cells imported.
+	Rounds      int
+	RemoteCells int
+
+	cellBytes int
+}
+
+// New creates an engine wrapping this rank's share of the bodies. The
+// physics-facing system configuration (EnableDynamics etc.) is the
+// caller's responsibility.
+func New[X, B any](c *msg.Comm, sys *core.System, phys Physics[X, B], cfg Config) *Engine[X, B] {
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = tree.DefaultBucketSize
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 64
+	}
+	return &Engine[X, B]{
+		C: c, Cfg: cfg, Phys: phys, Sys: sys,
+		Timer:     diag.NewTimer(),
+		cellBytes: CellWireBytes[X, B](),
+	}
+}
+
+// CellBytes returns the derived fixed wire size of one cell record.
+func (e *Engine[X, B]) CellBytes() int { return e.cellBytes }
+
+// Exchange runs phases 1 and 2: decomposition, local tree build, and
+// the branch exchange that assembles the shared top tree. On return
+// Sys holds the redistributed local bodies and the engine is ready
+// for WalkGroups.
+func (e *Engine[X, B]) Exchange() {
+	e.Timer.Start("decompose")
+	e.Domain = domain.GlobalDomain(e.C, e.Sys)
+	res := domain.Decompose(e.C, e.Sys, e.Domain)
+	e.Sys = res.Sys
+	e.Splits = res.Splits
+	e.Phys.Prepare(e.Sys)
+
+	// The local tree force-splits cells straddling this rank's
+	// interval so every branch cell materializes as a node.
+	e.Timer.Start("treebuild")
+	e.C.Phase(e.Cfg.PhasePrefix + "treebuild")
+	e.Local = tree.BuildRange(e.Sys, e.Domain, e.Cfg.MAC, e.Cfg.Bucket,
+		e.Splits[e.C.Rank()], e.Splits[e.C.Rank()+1])
+	e.Counters.CellsBuilt += uint64(e.Local.NCells())
+	e.Phys.PostBuild(e.Local)
+
+	e.Timer.Start("branches")
+	e.exchangeBranches()
+	e.Timer.Stop()
+	e.Rounds = 0
+}
+
+// exchangeBranches publishes this rank's branch cells and assembles
+// the shared top tree (branches plus all their ancestors, moments
+// combined across ranks).
+func (e *Engine[X, B]) exchangeBranches() {
+	e.C.Phase(e.Cfg.PhasePrefix + "branches")
+	var mine []Wire[X, B]
+	for _, bk := range tree.RangeDecompose(e.Splits[e.C.Rank()], e.Splits[e.C.Rank()+1]) {
+		c := e.Local.Cell(bk)
+		if c == nil {
+			continue // no bodies in this part of the interval
+		}
+		mine = append(mine, Wire[X, B]{
+			Key: bk, Mp: c.Mp, Extra: e.Phys.Extra(c), RCrit: c.RCrit,
+			N: c.N, ChildMask: c.ChildMask, Leaf: c.Leaf,
+		})
+	}
+	all := msg.Allgather(e.C, mine, e.cellBytes*len(mine))
+
+	e.top = htab.New[node[X]](256)
+	e.imported = htab.New[node[X]](1024)
+	e.Phys.ResetImports()
+	e.RemoteCells = 0
+
+	// Insert branches. Own branches keep their local body ranges so
+	// the walker can use them directly; remote leaf branches are
+	// marked unfetched.
+	var branchKeys []keys.Key
+	for r, batch := range all {
+		for _, w := range batch {
+			c := tree.Cell{
+				Key: w.Key, Mp: w.Mp, RCrit: w.RCrit, N: w.N,
+				ChildMask: w.ChildMask, Leaf: w.Leaf,
+			}
+			if r == e.C.Rank() {
+				c.First = e.Local.Cell(w.Key).First
+			} else if w.Leaf {
+				c.First = sentinelUnfetched
+			}
+			e.top.Insert(w.Key, node[X]{Cell: c, Extra: w.Extra})
+			branchKeys = append(branchKeys, w.Key)
+		}
+	}
+
+	// Build ancestors, deepest level first so children always exist
+	// when their parent's moments are combined.
+	anc := map[keys.Key]bool{}
+	for _, bk := range branchKeys {
+		for k := bk.Parent(); k != keys.Invalid; k = k.Parent() {
+			if anc[k] {
+				break // all higher ancestors already recorded
+			}
+			anc[k] = true
+		}
+	}
+	order := make([]keys.Key, 0, len(anc))
+	for k := range anc {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Level() > order[j].Level() })
+	for _, k := range order {
+		var children []grav.Multipole
+		var mask uint8
+		var nb int32
+		var extra X
+		for oct := 0; oct < 8; oct++ {
+			if cc := e.top.Ptr(k.Child(oct)); cc != nil {
+				children = append(children, cc.Cell.Mp)
+				mask |= 1 << uint(oct)
+				nb += cc.Cell.N
+				extra = e.Phys.CombineExtra(extra, cc.Extra)
+			}
+		}
+		mp := grav.Combine(children)
+		center, size := e.Domain.CellCenter(k)
+		e.top.Insert(k, node[X]{
+			Cell: tree.Cell{
+				Key: k, Mp: mp,
+				RCrit:     grav.RCrit(&mp, size, mp.COM.Sub(center).Norm(), e.Cfg.MAC),
+				N:         nb,
+				ChildMask: mask,
+			},
+			Extra: extra,
+		})
+	}
+	if len(branchKeys) > 0 && e.top.Ptr(keys.Root) == nil {
+		// Exactly one branch and it is the root itself (single rank
+		// holding everything): nothing to do. Otherwise the root must
+		// exist.
+		if len(branchKeys) != 1 || branchKeys[0] != keys.Root {
+			panic("hotengine: top tree has no root")
+		}
+	}
+}
+
+// OwnerOf returns the rank owning a (strictly below-branch) cell,
+// from key arithmetic and the split table alone.
+func (e *Engine[X, B]) OwnerOf(k keys.Key) int {
+	off := tree.KeyOffset(k.MinBody())
+	// Find r with Splits[r] <= off < Splits[r+1].
+	r := sort.Search(len(e.Splits)-1, func(i int) bool { return e.Splits[i+1] > off })
+	if r >= e.C.Size() {
+		r = e.C.Size() - 1
+	}
+	return r
+}
+
+// Resolve finds a cell and its physics payload, or reports it
+// missing. Lookup order: top tree (authoritative above and at the
+// branches, except unfetched remote leaves, which fall through to the
+// imports), then the local tree for cells this rank owns, then the
+// imported cells. The returned pointers are valid until the next
+// import round.
+func (e *Engine[X, B]) Resolve(k keys.Key) (*tree.Cell, *X, bool) {
+	if n := e.top.Ptr(k); n != nil {
+		if n.Cell.Leaf && n.Cell.First == sentinelUnfetched {
+			if in := e.imported.Ptr(k); in != nil {
+				return &in.Cell, &in.Extra, true
+			}
+			return nil, nil, false // bodies must be fetched
+		}
+		return &n.Cell, &n.Extra, true
+	}
+	if e.OwnerOf(k) == e.C.Rank() {
+		if c := e.Local.Cell(k); c != nil {
+			x := e.Phys.Extra(c)
+			return c, &x, true
+		}
+		return nil, nil, false
+	}
+	if in := e.imported.Ptr(k); in != nil {
+		return &in.Cell, &in.Extra, true
+	}
+	return nil, nil, false
+}
+
+// serve answers a batch of cell requests from src out of the local
+// tree. Every requested key must be at or below one of this rank's
+// branches, so a miss is a protocol violation.
+func (e *Engine[X, B]) serve(src int, reqs []keys.Key) []Wire[X, B] {
+	out := make([]Wire[X, B], len(reqs))
+	for i, k := range reqs {
+		c := e.Local.Cell(k)
+		if c == nil {
+			panic(fmt.Sprintf("hotengine: rank %d asked rank %d for unknown cell %v", src, e.C.Rank(), k))
+		}
+		w := Wire[X, B]{
+			Key: k, Mp: c.Mp, Extra: e.Phys.Extra(c), RCrit: c.RCrit,
+			N: c.N, ChildMask: c.ChildMask, Leaf: c.Leaf,
+		}
+		if c.Leaf {
+			w.Bodies = e.Phys.PackLeaf(c)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// importCell stores a fetched remote cell, copying leaf bodies into
+// the physics' import arena.
+func (e *Engine[X, B]) importCell(w Wire[X, B]) {
+	c := tree.Cell{
+		Key: w.Key, Mp: w.Mp, RCrit: w.RCrit, N: w.N,
+		ChildMask: w.ChildMask, Leaf: w.Leaf,
+	}
+	if w.Leaf {
+		start := e.Phys.ImportLeaf(w.N, w.Bodies)
+		c.First = -(start + 1)
+	}
+	e.imported.Insert(w.Key, node[X]{Cell: c, Extra: w.Extra})
+	e.RemoteCells++
+}
+
+// ResetImports discards every imported cell and the physics' arena,
+// so a later WalkGroups re-fetches remote data. Multi-pass physics
+// (SPH) uses this between the density and force passes: the second
+// pass must see the updated remote densities, not the stale imports.
+func (e *Engine[X, B]) ResetImports() {
+	e.imported = htab.New[node[X]](1024)
+	e.Phys.ResetImports()
+}
+
+// WalkGroups runs phases 3 and 4 for one traversal pass: it invokes
+// walk for every local leaf group, deferring groups whose walk
+// returns missing keys and fetching those cells from their owners in
+// batched rounds until every group completes. walk receives the
+// group's key and cell plus the counter snapshot taken just before
+// the attempt (for per-body work accounting); on a miss the engine
+// restores the counters to that snapshot, so a discarded partial walk
+// never inflates the traversal counts -- the paper's performance
+// accounting rides on these counters being exact. label names the
+// phase for the Timer and (with the configured prefix) the msg
+// traffic accounting.
+func (e *Engine[X, B]) WalkGroups(label string, walk func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key) {
+	e.Timer.Start(label)
+	e.C.Phase(e.Cfg.PhasePrefix + label)
+	eng := abm.New(e.C, KeyWireBytes(), e.cellBytes, e.serve)
+
+	deferred := make([]keys.Key, len(e.Local.Groups))
+	copy(deferred, e.Local.Groups)
+	pending := map[keys.Key]bool{}
+
+	for round := 0; ; round++ {
+		if round > e.Cfg.MaxRounds {
+			panic("hotengine: request rounds exceeded MaxRounds; protocol stuck")
+		}
+		var still []keys.Key
+		for _, gk := range deferred {
+			g := e.Local.Cell(gk)
+			snapshot := e.Counters
+			missing := walk(gk, g, snapshot)
+			if missing == nil {
+				continue
+			}
+			// Context switch: restore the counters, defer the group,
+			// batch its requests.
+			e.Counters = snapshot
+			e.Counters.Deferred++
+			still = append(still, gk)
+			for _, mk := range missing {
+				if !pending[mk] {
+					pending[mk] = true
+					e.Counters.Requests++
+					eng.Post(e.OwnerOf(mk), mk)
+				}
+			}
+		}
+		deferred = still
+		if !eng.AnyPendingGlobal(len(deferred) > 0) {
+			break
+		}
+		replies := eng.Round()
+		e.Rounds++
+		for _, batch := range replies {
+			for _, w := range batch {
+				e.importCell(w)
+			}
+		}
+	}
+	e.Timer.Stop()
+}

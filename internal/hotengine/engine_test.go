@@ -1,0 +1,181 @@
+package hotengine_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/grav"
+	"repro/internal/hotengine"
+	"repro/internal/keys"
+	"repro/internal/msg"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// countPhysics is a minimal synthetic physics used to exercise the
+// engine core in isolation: the per-cell payload is the body count
+// (as a float, with addition as the combine rule) and the leaf
+// payload is the particle IDs.
+type countPhysics struct {
+	e     func() *hotengine.Engine[float64, []int64]
+	impID []int64
+}
+
+func (p *countPhysics) Prepare(sys *core.System) {}
+func (p *countPhysics) PostBuild(t *tree.Tree)   {}
+
+func (p *countPhysics) Extra(c *tree.Cell) float64           { return float64(c.N) }
+func (p *countPhysics) CombineExtra(acc, ch float64) float64 { return acc + ch }
+
+func (p *countPhysics) PackLeaf(c *tree.Cell) []int64 {
+	e := p.e()
+	return e.Sys.ID[c.First : c.First+c.N]
+}
+
+func (p *countPhysics) ImportLeaf(n int32, b []int64) int32 {
+	start := int32(len(p.impID))
+	p.impID = append(p.impID, b...)
+	return start
+}
+
+func (p *countPhysics) ResetImports() { p.impID = p.impID[:0] }
+
+func randomSystem(n int, seed int64) *core.System {
+	rng := rand.New(rand.NewSource(seed))
+	sys := core.New(n)
+	for i := 0; i < n; i++ {
+		sys.Pos[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		sys.Mass[i] = 1
+	}
+	return sys
+}
+
+func scatterTo(global *core.System, c *msg.Comm) *core.System {
+	n := global.Len()
+	lo, hi := c.Rank()*n/c.Size(), (c.Rank()+1)*n/c.Size()
+	local := core.New(0)
+	for i := lo; i < hi; i++ {
+		local.AppendFrom(global, i)
+	}
+	return local
+}
+
+// TestEngineCoreFullTraversal runs the pipeline with the synthetic
+// physics on several rank counts and does an exhaustive walk (no
+// opening criterion: every leaf is visited), checking that the top
+// tree's root payload combines to the global count and that every
+// rank assembles the complete global ID set through the batched
+// request rounds.
+func TestEngineCoreFullTraversal(t *testing.T) {
+	const n = 700
+	for _, np := range []int{1, 2, 4, 8} {
+		global := randomSystem(n, 12345)
+		var mu sync.Mutex
+		seen := map[int]map[int64]bool{}
+		msg.Run(np, func(c *msg.Comm) {
+			phys := &countPhysics{}
+			var e *hotengine.Engine[float64, []int64]
+			phys.e = func() *hotengine.Engine[float64, []int64] { return e }
+			e = hotengine.New[float64, []int64](c, scatterTo(global, c), phys, hotengine.Config{
+				MAC:    grav.MACParams{Kind: grav.MACBarnesHut, Theta: 0.5},
+				Bucket: 8,
+			})
+			e.Exchange()
+
+			// The shared top tree's root must exist on every rank and
+			// carry the combined payload: the global body count.
+			root, extra, ok := e.Resolve(keys.Root)
+			if !ok {
+				t.Errorf("np=%d rank=%d: root not resolvable", np, c.Rank())
+				return
+			}
+			if root.N != int32(n) || *extra != float64(n) {
+				t.Errorf("np=%d rank=%d: root N=%d extra=%v, want %d", np, c.Rank(), root.N, *extra, n)
+			}
+
+			// Exhaustive walk: gather every particle ID reachable from
+			// the root, deferring on missing cells so the request rounds
+			// fetch remote leaves.
+			ids := map[int64]bool{}
+			var stack []keys.Key
+			e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+				var missing []keys.Key
+				got := []int64{}
+				stack = append(stack[:0], keys.Root)
+				for len(stack) > 0 {
+					k := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					cell, _, ok := e.Resolve(k)
+					if !ok {
+						missing = append(missing, k)
+						continue
+					}
+					if cell.Leaf {
+						if cell.First >= 0 {
+							got = append(got, e.Sys.ID[cell.First:cell.First+cell.N]...)
+						} else {
+							lo := -(cell.First + 1)
+							got = append(got, phys.impID[lo:lo+cell.N]...)
+						}
+						continue
+					}
+					for oct := 0; oct < 8; oct++ {
+						if cell.ChildMask&(1<<uint(oct)) != 0 {
+							stack = append(stack, k.Child(oct))
+						}
+					}
+				}
+				if missing != nil {
+					return missing
+				}
+				for _, id := range got {
+					ids[id] = true
+				}
+				return nil
+			})
+
+			if np > 1 && e.RemoteCells == 0 {
+				t.Errorf("np=%d rank=%d: exhaustive walk imported no remote cells", np, c.Rank())
+			}
+			mu.Lock()
+			seen[c.Rank()] = ids
+			mu.Unlock()
+		})
+		for r := 0; r < np; r++ {
+			if len(seen[r]) != n {
+				t.Fatalf("np=%d rank=%d: saw %d of %d particle IDs", np, r, len(seen[r]), n)
+			}
+		}
+	}
+}
+
+// TestEngineTimerPhases checks the diagnostics parity the shared core
+// provides: every instantiation gets the same per-phase breakdown.
+func TestEngineTimerPhases(t *testing.T) {
+	global := randomSystem(300, 9)
+	msg.Run(2, func(c *msg.Comm) {
+		phys := &countPhysics{}
+		var e *hotengine.Engine[float64, []int64]
+		phys.e = func() *hotengine.Engine[float64, []int64] { return e }
+		e = hotengine.New[float64, []int64](c, scatterTo(global, c), phys, hotengine.Config{
+			MAC: grav.MACParams{Kind: grav.MACBarnesHut, Theta: 0.5}, Bucket: 8,
+		})
+		e.Exchange()
+		e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+			return nil
+		})
+		want := []string{"decompose", "treebuild", "branches", "walk"}
+		got := e.Timer.Phases()
+		if len(got) != len(want) {
+			t.Fatalf("timer phases = %v, want %v", got, want)
+		}
+		for i := range want {
+			if i >= len(got) || got[i] != want[i] {
+				t.Fatalf("timer phases = %v, want %v", got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package hotengine_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/hotengine"
+	"repro/internal/parallel"
+	"repro/internal/sph"
+	"repro/internal/vec"
+	"repro/internal/vortex"
+)
+
+// mirror structs re-declare each physics' fixed wire record with
+// encoding/binary-sizeable fields, so the reflection-derived sizes
+// are checked against an independent accounting. The historical
+// hand-computed constants (118 for gravity, 142 for vortex) are
+// pinned too: the msg traffic counters, and the perfmodel times
+// derived from them, must not drift when a payload changes silently.
+
+type gravMirror struct {
+	Key       uint64
+	Mp        [12]float64 // M, COM, Q (6 of Sym3), B2, Bmax
+	RCrit     float64
+	N         int32
+	ChildMask uint8
+	Leaf      bool
+}
+
+type vortexMirror struct {
+	Key       uint64
+	Mp        [12]float64
+	ASum      [3]float64
+	RCrit     float64
+	N         int32
+	ChildMask uint8
+	Leaf      bool
+}
+
+func TestCellWireBytesMatchDeclaredRecords(t *testing.T) {
+	cases := []struct {
+		name   string
+		got    int
+		mirror any
+		legacy int
+	}{
+		{"gravity", hotengine.CellWireBytes[hotengine.None, parallel.Leaf](), gravMirror{}, 118},
+		{"vortex", hotengine.CellWireBytes[vec.V3, vortex.VLeaf](), vortexMirror{}, 142},
+		{"sph", hotengine.CellWireBytes[hotengine.None, sph.Leaf](), gravMirror{}, 118},
+	}
+	for _, c := range cases {
+		want := binary.Size(c.mirror)
+		if c.got != want {
+			t.Errorf("%s: CellWireBytes = %d, binary.Size of mirror record = %d", c.name, c.got, want)
+		}
+		if c.got != c.legacy {
+			t.Errorf("%s: CellWireBytes = %d, historical wire constant = %d (traffic accounting would shift)", c.name, c.got, c.legacy)
+		}
+	}
+}
+
+func TestKeyWireBytes(t *testing.T) {
+	if got := hotengine.KeyWireBytes(); got != 8 {
+		t.Fatalf("KeyWireBytes = %d, want 8", got)
+	}
+}
+
+func TestCellWireBytesRejectsUnsizeablePayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CellWireBytes accepted a slice-valued cell payload; wire sizes would be wrong")
+		}
+	}()
+	// A slice has no fixed packed size; putting one in the per-cell
+	// payload (rather than the leaf body payload) must be rejected.
+	hotengine.CellWireBytes[[]float64, parallel.Leaf]()
+}

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grav"
+	"repro/internal/ic"
+	"repro/internal/keys"
+	"repro/internal/msg"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// TestEquivalenceWithSerialTree compares the distributed engine at
+// 1, 2 and 8 ranks against the serial tree evaluation on a Plummer
+// sphere. On one rank the pipeline must reproduce the serial walk
+// bit for bit with identical interaction counts (same domain, same
+// sort, same tree, same kernels); on more ranks the force-split
+// local trees legitimately refine leaves at interval boundaries, so
+// counts shift slightly and forces agree to the MAC error scale.
+func TestEquivalenceWithSerialTree(t *testing.T) {
+	const n = 1200
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-4, Quad: true}
+	const eps2 = 1e-6
+
+	serial := ic.Plummer(n, 1.0, 17)
+	d := keys.NewDomain(serial.Pos)
+	serial.AssignKeys(d)
+	serial.SortByKey()
+	str := tree.Build(serial, d, mac, tree.DefaultBucketSize)
+	sctr := str.Gravity(eps2)
+	refAcc := make(map[int64]vec.V3, n)
+	refPot := make(map[int64]float64, n)
+	accScale := 0.0
+	for i := 0; i < n; i++ {
+		refAcc[serial.ID[i]] = serial.Acc[i]
+		refPot[serial.ID[i]] = serial.Pot[i]
+		if a := serial.Acc[i].Norm(); a > accScale {
+			accScale = a
+		}
+	}
+
+	for _, np := range []int{1, 2, 8} {
+		var mu sync.Mutex
+		var pp, pc uint64
+		maxErr := 0.0
+		exact := true
+		msg.Run(np, func(c *msg.Comm) {
+			global := ic.Plummer(n, 1.0, 17)
+			local := core.New(0)
+			local.EnableDynamics()
+			lo, hi := c.Rank()*n/c.Size(), (c.Rank()+1)*n/c.Size()
+			for i := lo; i < hi; i++ {
+				local.AppendFrom(global, i)
+			}
+			e := New(c, local, Config{MAC: mac, Eps2: eps2})
+			e.ComputeForces()
+			mu.Lock()
+			defer mu.Unlock()
+			pp += e.Counters.PP
+			pc += e.Counters.PC
+			for i := 0; i < e.Sys.Len(); i++ {
+				id := e.Sys.ID[i]
+				if e.Sys.Acc[i] != refAcc[id] || e.Sys.Pot[i] != refPot[id] {
+					exact = false
+				}
+				if diff := e.Sys.Acc[i].Sub(refAcc[id]).Norm() / accScale; diff > maxErr {
+					maxErr = diff
+				}
+			}
+		})
+		if np == 1 {
+			if !exact {
+				t.Errorf("np=1: forces differ bitwise from the serial tree walk (max rel %g)", maxErr)
+			}
+			if pp != sctr.PP || pc != sctr.PC {
+				t.Errorf("np=1: interactions PP=%d PC=%d, serial PP=%d PC=%d", pp, pc, sctr.PP, sctr.PC)
+			}
+		} else {
+			if maxErr > 2e-3 {
+				t.Errorf("np=%d: max relative force deviation from serial tree %g", np, maxErr)
+			}
+			// The walk does the same amount of physics: counts move
+			// only by the boundary refinement.
+			ratio := float64(pp+pc) / float64(sctr.PP+sctr.PC)
+			if ratio < 0.9 || ratio > 1.2 {
+				t.Errorf("np=%d: interaction count ratio vs serial %g", np, ratio)
+			}
+		}
+	}
+}

@@ -1,37 +1,23 @@
-// Package parallel is the distributed hashed oct-tree engine: the
-// paper's parallel N-body method assembled from the substrates. One
-// force evaluation runs in four phases, matching the paper's
-// description of the algorithm:
-//
-//  1. Domain decomposition: bodies move to processors as contiguous,
-//     work-weighted intervals of the Morton curve (internal/domain).
-//  2. Distributed tree build: each processor builds a local hashed
-//     oct-tree over its bodies, publishes its "branch" cells (the
-//     coarsest cells wholly inside its interval), and all processors
-//     assemble the identical shared top tree above the branches.
-//  3. Tree traversal with latency hiding: each leaf group walks the
-//     tree through a Source that resolves keys against the top tree,
-//     the local tree, and an imported-cell table. A miss defers the
-//     group (the paper's explicit context switch) and queues a
-//     batched request to the cell's owner (internal/abm).
-//  4. Rounds of batched request/reply run until every group finishes.
-//
-// The global key name space makes step 3 possible: any processor can
-// compute which cells it needs and who owns them from key arithmetic
-// plus the split table alone.
+// Package parallel is the distributed gravitational N-body engine:
+// the paper's parallel treecode instantiated on the shared HOT
+// pipeline (internal/hotengine). The pipeline owns the four phases --
+// work-weighted domain decomposition, local tree build plus branch
+// exchange, deferred-group traversal, batched request rounds -- and
+// this package supplies only what is gravitational about them: the
+// per-cell payload is empty (the geometric multipole every cell
+// carries IS the gravity moment), leaf replies carry position and
+// mass columns, and each completed group walk is evaluated with the
+// batched SoA kernels (grav.EvalPP/EvalM2P/EvalSelf) through
+// tree.Walker.
 package parallel
 
 import (
-	"fmt"
 	"math"
-	"sort"
 
-	"repro/internal/abm"
 	"repro/internal/core"
 	"repro/internal/diag"
-	"repro/internal/domain"
 	"repro/internal/grav"
-	"repro/internal/htab"
+	"repro/internal/hotengine"
 	"repro/internal/keys"
 	"repro/internal/msg"
 	"repro/internal/tree"
@@ -54,34 +40,54 @@ type Config struct {
 	AdaptTol float64
 }
 
-// sentinelUnfetched marks a remote leaf whose bodies have not arrived.
-const sentinelUnfetched = int32(-1 << 30)
+// Leaf is the gravity leaf payload of a request reply: position and
+// mass columns, aliasing the serving rank's storage.
+type Leaf struct {
+	Pos  []vec.V3
+	Mass []float64
+}
 
-// Engine holds one rank's state across timesteps.
+// Engine holds one rank's state across timesteps. The embedded
+// hotengine.Engine exposes the pipeline state (Sys, Domain, Splits,
+// Local, Counters, Timer, Rounds, RemoteCells).
 type Engine struct {
-	C   *msg.Comm
+	*hotengine.Engine[hotengine.None, Leaf]
 	Cfg Config
-	// Sys is this rank's current local bodies.
-	Sys *core.System
 
-	Domain keys.Domain
-	Splits []uint64
-	Local  *tree.Tree
+	phys *physics
+	w    tree.Walker
+}
 
-	top      *htab.Table[tree.Cell]
-	imported *htab.Table[tree.Cell]
-	impPos   []vec.V3
-	impMass  []float64
+// physics is the gravity instantiation of hotengine.Physics: no
+// per-cell payload beyond the multipole, leaf bodies are (pos, mass).
+type physics struct {
+	e *Engine
 
-	// Counters accumulates interaction counts across evaluations.
-	Counters diag.Counters
-	// Timer accumulates per-phase wall time across evaluations
-	// (decompose, treebuild, branches, walk).
-	Timer *diag.Timer
-	// Rounds is the number of request/reply rounds of the last
-	// evaluation; RemoteCells the cells imported.
-	Rounds      int
-	RemoteCells int
+	impPos  []vec.V3
+	impMass []float64
+}
+
+func (p *physics) Prepare(sys *core.System) {}
+func (p *physics) PostBuild(t *tree.Tree)   {}
+
+func (p *physics) Extra(c *tree.Cell) hotengine.None                 { return hotengine.None{} }
+func (p *physics) CombineExtra(acc, _ hotengine.None) hotengine.None { return acc }
+
+func (p *physics) PackLeaf(c *tree.Cell) Leaf {
+	pos, mass := p.e.Local.LeafBodies(c)
+	return Leaf{Pos: pos, Mass: mass}
+}
+
+func (p *physics) ImportLeaf(n int32, b Leaf) int32 {
+	start := int32(len(p.impPos))
+	p.impPos = append(p.impPos, b.Pos...)
+	p.impMass = append(p.impMass, b.Mass...)
+	return start
+}
+
+func (p *physics) ResetImports() {
+	p.impPos = p.impPos[:0]
+	p.impMass = p.impMass[:0]
 }
 
 // New creates an engine for this rank's share of the bodies. The
@@ -94,25 +100,36 @@ func New(c *msg.Comm, sys *core.System, cfg Config) *Engine {
 		cfg.MaxRounds = 64
 	}
 	sys.EnableDynamics()
-	return &Engine{C: c, Cfg: cfg, Sys: sys, Timer: diag.NewTimer()}
+	e := &Engine{Cfg: cfg}
+	e.phys = &physics{e: e}
+	e.Engine = hotengine.New[hotengine.None, Leaf](c, sys, e.phys, hotengine.Config{
+		MAC: cfg.MAC, Bucket: cfg.Bucket, MaxRounds: cfg.MaxRounds,
+	})
+	return e
 }
 
-// cellWire is the packed cell payload used for both the branch
-// allgather and request replies.
-type cellWire struct {
-	Key       keys.Key
-	Mp        grav.Multipole
-	RCrit     float64
-	N         int32
-	ChildMask uint8
-	Leaf      bool
-	// Leaf body payload (replies only; nil in branch messages).
-	Pos  []vec.V3
-	Mass []float64
+// source adapts the engine's three cell stores into a tree.Source
+// for the walker.
+type source struct{ e *Engine }
+
+func (s source) Root() keys.Key { return keys.Root }
+
+func (s source) Cell(k keys.Key) *tree.Cell {
+	c, _, ok := s.e.Resolve(k)
+	if !ok {
+		return nil
+	}
+	return c
 }
 
-// cellWireBytes is the fixed wire size of a cell record.
-const cellWireBytes = 8 + 12*8 + 8 + 4 + 1 + 1
+func (s source) LeafBodies(c *tree.Cell) ([]vec.V3, []float64) {
+	e := s.e
+	if c.First >= 0 {
+		return e.Sys.Pos[c.First : c.First+c.N], e.Sys.Mass[c.First : c.First+c.N]
+	}
+	i := -(c.First + 1)
+	return e.phys.impPos[i : i+c.N], e.phys.impMass[i : i+c.N]
+}
 
 // ComputeForces runs one full parallel force evaluation: decompose,
 // build, exchange branches, walk with batched requests. On return
@@ -121,29 +138,28 @@ const cellWireBytes = 8 + 12*8 + 8 + 4 + 1 + 1
 func (e *Engine) ComputeForces() diag.Counters {
 	start := e.Counters
 
-	// Phase 1: decomposition.
-	e.Timer.Start("decompose")
-	e.Domain = domain.GlobalDomain(e.C, e.Sys)
-	res := domain.Decompose(e.C, e.Sys, e.Domain)
-	e.Sys = res.Sys
-	e.Splits = res.Splits
+	// AdaptTol may have rescaled the MAC after the previous
+	// evaluation; the pipeline builds trees with its own copy.
+	e.Engine.Cfg.MAC = e.Cfg.MAC
+	e.Exchange()
 
-	// Phase 2: local tree + shared top tree. The local tree force-
-	// splits cells straddling this rank's interval so every branch
-	// cell materializes as a node.
-	e.Timer.Start("treebuild")
-	e.C.Phase("treebuild")
-	e.Local = tree.BuildRange(e.Sys, e.Domain, e.Cfg.MAC, e.Cfg.Bucket,
-		e.Splits[e.C.Rank()], e.Splits[e.C.Rank()+1])
-	e.Counters.CellsBuilt += uint64(e.Local.NCells())
-	e.Timer.Start("branches")
-	e.exchangeBranches()
-
-	// Phase 3+4: traversal with request rounds.
-	e.Timer.Start("walk")
-	e.C.Phase("walk")
-	e.walkAll()
-	e.Timer.Stop()
+	src := source{e}
+	sys := e.Sys
+	e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key {
+		lo, hi := g.First, g.First+g.N
+		missing := e.w.Walk(src, gk, sys.Pos[lo:hi], &e.Counters)
+		if missing != nil {
+			return missing
+		}
+		e.w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, e.Cfg.MAC.Quad, &e.Counters)
+		if g.N > 0 {
+			per := float64(e.Counters.PP+e.Counters.PC-snapshot.PP-snapshot.PC) / float64(g.N)
+			for i := lo; i < hi; i++ {
+				sys.Work[i] = per
+			}
+		}
+		return nil
+	})
 
 	if e.Cfg.AdaptTol > 0 && e.Cfg.MAC.Kind == grav.MACSalmonWarren {
 		if rms := e.RMSAccel(); rms > 0 {
@@ -161,247 +177,6 @@ func (e *Engine) ComputeForces() diag.Counters {
 	out.Deferred -= start.Deferred
 	out.Requests -= start.Requests
 	return out
-}
-
-// exchangeBranches publishes this rank's branch cells and assembles
-// the shared top tree (branches plus all their ancestors, moments
-// combined across ranks).
-func (e *Engine) exchangeBranches() {
-	e.C.Phase("branches")
-	var mine []cellWire
-	for _, bk := range tree.RangeDecompose(e.Splits[e.C.Rank()], e.Splits[e.C.Rank()+1]) {
-		c := e.Local.Cell(bk)
-		if c == nil {
-			continue // no bodies in this part of the interval
-		}
-		mine = append(mine, cellWire{
-			Key: bk, Mp: c.Mp, RCrit: c.RCrit, N: c.N,
-			ChildMask: c.ChildMask, Leaf: c.Leaf,
-		})
-	}
-	all := msg.Allgather(e.C, mine, cellWireBytes*len(mine))
-
-	e.top = htab.New[tree.Cell](256)
-	e.imported = htab.New[tree.Cell](1024)
-	e.impPos = e.impPos[:0]
-	e.impMass = e.impMass[:0]
-	e.RemoteCells = 0
-
-	// Insert branches. Own branches keep their local body ranges so
-	// the walker can use them directly; remote leaf branches are
-	// marked unfetched.
-	var branchKeys []keys.Key
-	for r, batch := range all {
-		for _, w := range batch {
-			c := tree.Cell{
-				Key: w.Key, Mp: w.Mp, RCrit: w.RCrit, N: w.N,
-				ChildMask: w.ChildMask, Leaf: w.Leaf,
-			}
-			if r == e.C.Rank() {
-				lc := e.Local.Cell(w.Key)
-				c.First = lc.First
-			} else if w.Leaf {
-				c.First = sentinelUnfetched
-			}
-			e.top.Insert(w.Key, c)
-			branchKeys = append(branchKeys, w.Key)
-		}
-	}
-
-	// Build ancestors, deepest level first so children always exist
-	// when their parent's moments are combined.
-	anc := map[keys.Key]bool{}
-	for _, bk := range branchKeys {
-		for k := bk.Parent(); k != keys.Invalid; k = k.Parent() {
-			if anc[k] {
-				break // all higher ancestors already recorded
-			}
-			anc[k] = true
-		}
-	}
-	order := make([]keys.Key, 0, len(anc))
-	for k := range anc {
-		order = append(order, k)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i].Level() > order[j].Level() })
-	for _, k := range order {
-		var children []grav.Multipole
-		var mask uint8
-		var nb int32
-		for oct := 0; oct < 8; oct++ {
-			if cc := e.top.Ptr(k.Child(oct)); cc != nil {
-				children = append(children, cc.Mp)
-				mask |= 1 << uint(oct)
-				nb += cc.N
-			}
-		}
-		mp := grav.Combine(children)
-		center, size := e.Domain.CellCenter(k)
-		e.top.Insert(k, tree.Cell{
-			Key: k, Mp: mp,
-			RCrit:     grav.RCrit(&mp, size, mp.COM.Sub(center).Norm(), e.Cfg.MAC),
-			N:         nb,
-			ChildMask: mask,
-		})
-	}
-	if len(branchKeys) > 0 && e.top.Ptr(keys.Root) == nil {
-		// Exactly one branch and it is the root itself (single rank
-		// holding everything): nothing to do. Otherwise the root must
-		// exist.
-		if len(branchKeys) != 1 || branchKeys[0] != keys.Root {
-			panic("parallel: top tree has no root")
-		}
-	}
-}
-
-// ownerOf returns the rank owning a (strictly below-branch) cell.
-func (e *Engine) ownerOf(k keys.Key) int {
-	off := tree.KeyOffset(k.MinBody())
-	// Find r with Splits[r] <= off < Splits[r+1].
-	r := sort.Search(len(e.Splits)-1, func(i int) bool { return e.Splits[i+1] > off })
-	if r >= e.C.Size() {
-		r = e.C.Size() - 1
-	}
-	return r
-}
-
-// source adapts the three cell stores into a tree.Source for the
-// walker. Lookup order: top tree (authoritative above and at
-// branches), then local tree, then imported cells.
-type source struct{ e *Engine }
-
-func (s source) Root() keys.Key { return keys.Root }
-
-func (s source) Cell(k keys.Key) *tree.Cell {
-	e := s.e
-	if c := e.top.Ptr(k); c != nil {
-		if c.Leaf && c.First == sentinelUnfetched {
-			if ic := e.imported.Ptr(k); ic != nil {
-				return ic
-			}
-			return nil // bodies must be fetched
-		}
-		return c
-	}
-	if e.ownerOf(k) == e.C.Rank() {
-		return e.Local.Cell(k)
-	}
-	return e.imported.Ptr(k)
-}
-
-func (s source) LeafBodies(c *tree.Cell) ([]vec.V3, []float64) {
-	e := s.e
-	if c.First >= 0 {
-		return e.Sys.Pos[c.First : c.First+c.N], e.Sys.Mass[c.First : c.First+c.N]
-	}
-	i := -(c.First + 1)
-	return e.impPos[i : i+c.N], e.impMass[i : i+c.N]
-}
-
-// serve answers a batch of cell requests from src out of the local
-// tree. Every requested key must be at or below one of this rank's
-// branches, so a miss is a protocol violation.
-func (e *Engine) serve(src int, reqs []keys.Key) []cellWire {
-	out := make([]cellWire, len(reqs))
-	for i, k := range reqs {
-		c := e.Local.Cell(k)
-		if c == nil {
-			panic(fmt.Sprintf("parallel: rank %d asked rank %d for unknown cell %v", src, e.C.Rank(), k))
-		}
-		w := cellWire{
-			Key: k, Mp: c.Mp, RCrit: c.RCrit, N: c.N,
-			ChildMask: c.ChildMask, Leaf: c.Leaf,
-		}
-		if c.Leaf {
-			w.Pos, w.Mass = e.Local.LeafBodies(c)
-		}
-		out[i] = w
-	}
-	return out
-}
-
-// walkAll traverses the tree for every local group, deferring groups
-// that hit missing remote cells and fetching those cells in batched
-// rounds until all groups complete.
-func (e *Engine) walkAll() {
-	eng := abm.New(e.C, 8, cellWireBytes, e.serve)
-	src := source{e}
-	var w tree.Walker
-
-	deferred := make([]keys.Key, len(e.Local.Groups))
-	copy(deferred, e.Local.Groups)
-	pending := map[keys.Key]bool{}
-	sys := e.Sys
-
-	e.Rounds = 0
-	for round := 0; ; round++ {
-		if round > e.Cfg.MaxRounds {
-			panic("parallel: request rounds exceeded MaxRounds; protocol stuck")
-		}
-		var still []keys.Key
-		for _, gk := range deferred {
-			g := e.Local.Cell(gk)
-			lo, hi := g.First, g.First+g.N
-			// Snapshot so a deferred group's discarded partial walk
-			// does not inflate the traversal counts: the paper's
-			// performance accounting rides on these counters being
-			// exact. (Interaction counts only accrue in Evaluate, which
-			// runs once per completed walk; a re-walk after the data
-			// arrives reuses the Walker's list storage.)
-			snapshot := e.Counters
-			missing := w.Walk(src, gk, sys.Pos[lo:hi], &e.Counters)
-			if missing == nil {
-				w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, e.Cfg.MAC.Quad, &e.Counters)
-				if g.N > 0 {
-					per := float64(e.Counters.PP+e.Counters.PC-snapshot.PP-snapshot.PC) / float64(g.N)
-					for i := lo; i < hi; i++ {
-						sys.Work[i] = per
-					}
-				}
-				continue
-			}
-			// Context switch: restore the counters, defer the group,
-			// batch its requests.
-			e.Counters = snapshot
-			e.Counters.Deferred++
-			still = append(still, gk)
-			for _, mk := range missing {
-				if !pending[mk] {
-					pending[mk] = true
-					e.Counters.Requests++
-					eng.Post(e.ownerOf(mk), mk)
-				}
-			}
-		}
-		deferred = still
-		if !eng.AnyPendingGlobal(len(deferred) > 0) {
-			break
-		}
-		replies := eng.Round()
-		e.Rounds++
-		for _, batch := range replies {
-			for _, cw := range batch {
-				e.importCell(cw)
-			}
-		}
-	}
-}
-
-// importCell stores a fetched remote cell, copying leaf bodies into
-// the import arena.
-func (e *Engine) importCell(w cellWire) {
-	c := tree.Cell{
-		Key: w.Key, Mp: w.Mp, RCrit: w.RCrit, N: w.N,
-		ChildMask: w.ChildMask, Leaf: w.Leaf,
-	}
-	if w.Leaf {
-		start := int32(len(e.impPos))
-		e.impPos = append(e.impPos, w.Pos...)
-		e.impMass = append(e.impMass, w.Mass...)
-		c.First = -(start + 1)
-	}
-	e.imported.Insert(w.Key, c)
-	e.RemoteCells++
 }
 
 // RMSAccel returns the global root-mean-square acceleration, used to

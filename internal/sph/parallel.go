@@ -1,0 +1,442 @@
+package sph
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/grav"
+	"repro/internal/hotengine"
+	"repro/internal/keys"
+	"repro/internal/msg"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// ParallelEngine runs SPH on the distributed hashed oct-tree: the
+// third instantiation of the shared pipeline (internal/hotengine),
+// the paper's point that SPH was "implemented ... interfaced to
+// exactly the same library" as gravity. Density and forces are two
+// traversal passes of range queries against the distributed tree:
+// each leaf group prunes cells against its search sphere (group
+// bounding sphere inflated by the largest kernel support), gathering
+// local and imported leaf bodies as neighbor candidates; cells held
+// by other ranks arrive through the same deferred-group batched
+// request rounds as gravity. Between the passes the imports are
+// discarded and re-fetched, because the force pass must see the
+// densities the owning ranks just computed, not the stale copies.
+// An optional third pass evaluates self-gravity with the gravity
+// walker over the same imported cells.
+type ParallelEngine struct {
+	*hotengine.Engine[hotengine.None, Leaf]
+	Cfg ParallelConfig
+
+	phys     *physics
+	stack    []keys.Key
+	cand     candidates
+	pressure []vec.V3
+	w        tree.Walker
+}
+
+// ParallelConfig controls the distributed SPH evaluation.
+type ParallelConfig struct {
+	Params Params
+	// Bucket is the tree leaf capacity (default 16, matching the
+	// serial Step).
+	Bucket int
+	// Gravity adds a self-gravity pass after the SPH forces; Eps2 is
+	// its Plummer softening and Theta the Barnes-Hut opening angle of
+	// the shared tree (default 0.7, matching the serial Step).
+	Gravity bool
+	Eps2    float64
+	Theta   float64
+	// MaxRounds bounds the request/reply rounds per pass; 0 means 64.
+	MaxRounds int
+}
+
+// Leaf is the SPH leaf payload of a request reply: every per-body
+// column a remote neighbor interaction needs, aliasing the serving
+// rank's storage. Rho is whatever the serving rank holds at reply
+// time, which is why the force pass re-fetches after the density
+// pass completes globally.
+type Leaf struct {
+	Pos  []vec.V3
+	Vel  []vec.V3
+	Mass []float64
+	H    []float64
+	Rho  []float64
+	ID   []int64
+}
+
+// physics is the SPH instantiation of hotengine.Physics. Like
+// gravity, the geometric multipole is all the per-cell state the
+// traversal needs (range queries prune on cell geometry alone).
+type physics struct {
+	e *ParallelEngine
+
+	impPos  []vec.V3
+	impVel  []vec.V3
+	impMass []float64
+	impH    []float64
+	impRho  []float64
+	impID   []int64
+}
+
+func (p *physics) Prepare(sys *core.System) {}
+func (p *physics) PostBuild(t *tree.Tree)   {}
+
+func (p *physics) Extra(c *tree.Cell) hotengine.None                 { return hotengine.None{} }
+func (p *physics) CombineExtra(acc, _ hotengine.None) hotengine.None { return acc }
+
+// PackLeaf snapshots the leaf's columns rather than aliasing them:
+// unlike gravity and vortex, SPH serves replies *while* mutating a
+// served column (the density pass writes Rho), so the serving rank
+// must copy on its own goroutine, where those writes are sequenced.
+// (The requester never consumes a mid-pass Rho — the force pass
+// re-fetches after the density pass completes globally — but the
+// aliased slice would still be a cross-rank data race.)
+func (p *physics) PackLeaf(c *tree.Cell) Leaf {
+	sys := p.e.Sys
+	lo, hi := c.First, c.First+c.N
+	return Leaf{
+		Pos:  append([]vec.V3(nil), sys.Pos[lo:hi]...),
+		Vel:  append([]vec.V3(nil), sys.Vel[lo:hi]...),
+		Mass: append([]float64(nil), sys.Mass[lo:hi]...),
+		H:    append([]float64(nil), sys.H[lo:hi]...),
+		Rho:  append([]float64(nil), sys.Rho[lo:hi]...),
+		ID:   append([]int64(nil), sys.ID[lo:hi]...),
+	}
+}
+
+func (p *physics) ImportLeaf(n int32, b Leaf) int32 {
+	start := int32(len(p.impPos))
+	p.impPos = append(p.impPos, b.Pos...)
+	p.impVel = append(p.impVel, b.Vel...)
+	p.impMass = append(p.impMass, b.Mass...)
+	p.impH = append(p.impH, b.H...)
+	p.impRho = append(p.impRho, b.Rho...)
+	p.impID = append(p.impID, b.ID...)
+	return start
+}
+
+func (p *physics) ResetImports() {
+	p.impPos = p.impPos[:0]
+	p.impVel = p.impVel[:0]
+	p.impMass = p.impMass[:0]
+	p.impH = p.impH[:0]
+	p.impRho = p.impRho[:0]
+	p.impID = p.impID[:0]
+}
+
+// candidates is the reusable SoA neighbor candidate block one group
+// gathers before its per-particle distance tests.
+type candidates struct {
+	pos  []vec.V3
+	vel  []vec.V3
+	mass []float64
+	h    []float64
+	rho  []float64
+	id   []int64
+}
+
+func (c *candidates) reset() {
+	c.pos, c.vel = c.pos[:0], c.vel[:0]
+	c.mass, c.h, c.rho = c.mass[:0], c.h[:0], c.rho[:0]
+	c.id = c.id[:0]
+}
+
+// NewParallel wraps this rank's particles.
+func NewParallel(c *msg.Comm, sys *core.System, cfg ParallelConfig) *ParallelEngine {
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = 16
+	}
+	if cfg.Theta <= 0 {
+		cfg.Theta = 0.7
+	}
+	sys.EnableDynamics()
+	sys.EnableSPH()
+	e := &ParallelEngine{Cfg: cfg}
+	e.phys = &physics{e: e}
+	e.Engine = hotengine.New[hotengine.None, Leaf](c, sys, e.phys, hotengine.Config{
+		MAC:         grav.MACParams{Kind: grav.MACBarnesHut, Theta: cfg.Theta, Quad: false},
+		Bucket:      cfg.Bucket,
+		MaxRounds:   cfg.MaxRounds,
+		PhasePrefix: "sph",
+	})
+	return e
+}
+
+// Eval runs one full distributed evaluation: decompose and exchange,
+// then the density pass, a re-fetch, the force pass, and (when
+// configured) the gravity pass. On return Sys.Rho holds densities
+// and Sys.Acc the pressure (plus gravity) accelerations of the
+// redistributed local particles. The returned counters are the
+// deltas of this evaluation.
+func (e *ParallelEngine) Eval() diag.Counters {
+	start := e.Counters
+	e.Exchange()
+	sys := e.Sys
+
+	e.WalkGroups("density", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+		return e.walkDensity(g)
+	})
+
+	// The force pass reads neighbor densities, which the density pass
+	// just computed on their owning ranks: drop the stale imports and
+	// re-fetch. (WalkGroups completing is a global rendezvous, so
+	// every rank's densities are final before any rank re-requests.)
+	e.ResetImports()
+
+	if cap(e.pressure) < sys.Len() {
+		e.pressure = make([]vec.V3, sys.Len())
+	}
+	e.pressure = e.pressure[:sys.Len()]
+	e.WalkGroups("forces", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+		return e.walkForces(g)
+	})
+
+	if e.Cfg.Gravity {
+		src := gsource{e}
+		e.WalkGroups("gravity", func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key {
+			lo, hi := g.First, g.First+g.N
+			missing := e.w.Walk(src, gk, sys.Pos[lo:hi], &e.Counters)
+			if missing != nil {
+				return missing
+			}
+			e.w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, false, &e.Counters)
+			if g.N > 0 {
+				per := float64(e.Counters.PP+e.Counters.PC-snapshot.PP-snapshot.PC) / float64(g.N)
+				for i := lo; i < hi; i++ {
+					sys.Work[i] += per
+				}
+			}
+			return nil
+		})
+		for i := range sys.Acc {
+			sys.Acc[i] = sys.Acc[i].Add(e.pressure[i])
+		}
+	} else {
+		copy(sys.Acc, e.pressure)
+	}
+
+	out := e.Counters
+	out.PP -= start.PP
+	out.PC -= start.PC
+	out.QuadPC -= start.QuadPC
+	out.CellsBuilt -= start.CellsBuilt
+	out.Traversals -= start.Traversals
+	out.Deferred -= start.Deferred
+	out.Requests -= start.Requests
+	out.SPHPairs -= start.SPHPairs
+	return out
+}
+
+// leafColumns returns the per-body columns of a leaf cell, local or
+// imported.
+func (e *ParallelEngine) leafColumns(c *tree.Cell) Leaf {
+	if c.First >= 0 {
+		sys := e.Sys
+		lo, hi := c.First, c.First+c.N
+		return Leaf{
+			Pos: sys.Pos[lo:hi], Vel: sys.Vel[lo:hi], Mass: sys.Mass[lo:hi],
+			H: sys.H[lo:hi], Rho: sys.Rho[lo:hi], ID: sys.ID[lo:hi],
+		}
+	}
+	p := e.phys
+	lo := -(c.First + 1)
+	hi := lo + c.N
+	return Leaf{
+		Pos: p.impPos[lo:hi], Vel: p.impVel[lo:hi], Mass: p.impMass[lo:hi],
+		H: p.impH[lo:hi], Rho: p.impRho[lo:hi], ID: p.impID[lo:hi],
+	}
+}
+
+// gather collects every body that could lie within rmax of any
+// particle of the group into the candidate block, pruning cells
+// whose cube is entirely outside the group's search sphere (the same
+// cube-versus-sphere test as the serial Neighbors). Missing remote
+// cells are returned instead; candidate gathering is suppressed once
+// the walk is doomed, but the traversal continues so the whole
+// request set batches into one round.
+func (e *ParallelEngine) gather(gpos []vec.V3, rmax float64) (missing []keys.Key) {
+	gc, gr := tree.GroupSphere(gpos)
+	R := gr + rmax
+	e.cand.reset()
+	e.stack = append(e.stack[:0], keys.Root)
+	for len(e.stack) > 0 {
+		k := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		c, _, ok := e.Resolve(k)
+		if !ok {
+			missing = append(missing, k)
+			continue
+		}
+		e.Counters.Traversals++
+		if c.N == 0 {
+			continue
+		}
+		center, size := e.Domain.CellCenter(k)
+		// Prune: the cell cube is entirely outside the sphere when the
+		// center distance exceeds R plus the half-diagonal.
+		halfDiag := size * math.Sqrt(3) / 2
+		if center.Sub(gc).Norm() > R+halfDiag {
+			continue
+		}
+		if c.Leaf {
+			if missing == nil {
+				b := e.leafColumns(c)
+				e.cand.pos = append(e.cand.pos, b.Pos...)
+				e.cand.vel = append(e.cand.vel, b.Vel...)
+				e.cand.mass = append(e.cand.mass, b.Mass...)
+				e.cand.h = append(e.cand.h, b.H...)
+				e.cand.rho = append(e.cand.rho, b.Rho...)
+				e.cand.id = append(e.cand.id, b.ID...)
+			}
+			continue
+		}
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<uint(oct)) != 0 {
+				e.stack = append(e.stack, k.Child(oct))
+			}
+		}
+	}
+	return missing
+}
+
+// hmax returns the largest smoothing length in a body range.
+func (e *ParallelEngine) hmax(lo, hi int32) float64 {
+	m := 0.0
+	for i := lo; i < hi; i++ {
+		if e.Sys.H[i] > m {
+			m = e.Sys.H[i]
+		}
+	}
+	return m
+}
+
+// walkDensity computes rho by kernel summation for one group, with
+// the same per-pair arithmetic and pair accounting as the serial
+// Density (self included).
+func (e *ParallelEngine) walkDensity(g *tree.Cell) []keys.Key {
+	sys := e.Sys
+	lo, hi := g.First, g.First+g.N
+	if missing := e.gather(sys.Pos[lo:hi], 2*e.hmax(lo, hi)); missing != nil {
+		return missing
+	}
+	var pairs uint64
+	for i := lo; i < hi; i++ {
+		h := sys.H[i]
+		r := 2 * h
+		rho := 0.0
+		for j := range e.cand.pos {
+			d := sys.Pos[i].Sub(e.cand.pos[j]).Norm()
+			if d <= r {
+				rho += e.cand.mass[j] * W(d, h)
+				pairs++
+			}
+		}
+		sys.Rho[i] = rho
+	}
+	e.Counters.SPHPairs += pairs
+	// Neighbor pairs are the work the next decomposition balances
+	// (the gravity pass adds its own share on top).
+	if g.N > 0 {
+		per := float64(pairs) / float64(g.N)
+		for i := lo; i < hi; i++ {
+			sys.Work[i] = per
+		}
+	}
+	return nil
+}
+
+// walkForces computes the symmetric pressure force plus Monaghan
+// artificial viscosity for one group, matching the serial Forces
+// pair for pair (self-pairs excluded by particle ID, which is what
+// the serial index test means once neighbors can be remote copies).
+func (e *ParallelEngine) walkForces(g *tree.Cell) []keys.Key {
+	sys := e.Sys
+	lo, hi := g.First, g.First+g.N
+	if missing := e.gather(sys.Pos[lo:hi], 2*e.hmax(lo, hi)); missing != nil {
+		return missing
+	}
+	p := &e.Cfg.Params
+	for i := lo; i < hi; i++ {
+		hsml := sys.H[i]
+		r := 2 * hsml
+		Pi := p.pressure(sys.Rho[i])
+		var acc vec.V3
+		for j := range e.cand.pos {
+			if e.cand.id[j] == sys.ID[i] {
+				continue
+			}
+			rij := sys.Pos[i].Sub(e.cand.pos[j])
+			if rij.Norm() > r {
+				continue
+			}
+			hbar := 0.5 * (hsml + e.cand.h[j])
+			Pj := p.pressure(e.cand.rho[j])
+			term := Pi/(sys.Rho[i]*sys.Rho[i]) + Pj/(e.cand.rho[j]*e.cand.rho[j])
+			// Artificial viscosity on approaching pairs.
+			if p.AlphaVisc > 0 {
+				vij := sys.Vel[i].Sub(e.cand.vel[j])
+				vr := vij.Dot(rij)
+				if vr < 0 {
+					mu := hbar * vr / (rij.Norm2() + 0.01*hbar*hbar)
+					rhob := 0.5 * (sys.Rho[i] + e.cand.rho[j])
+					cbar := 0.5 * (p.soundSpeed(sys.Rho[i]) + p.soundSpeed(e.cand.rho[j]))
+					term += (-p.AlphaVisc*cbar*mu + p.BetaVisc*mu*mu) / rhob
+				}
+			}
+			acc = acc.Sub(GradW(rij, hbar).Scale(e.cand.mass[j] * term))
+			e.Counters.SPHPairs++
+		}
+		e.pressure[i] = acc
+	}
+	return nil
+}
+
+// gsource adapts the engine's cell stores into a tree.Source for the
+// gravity walker; the SPH leaf payload carries positions and masses,
+// which is all gravity needs.
+type gsource struct{ e *ParallelEngine }
+
+func (s gsource) Root() keys.Key { return keys.Root }
+
+func (s gsource) Cell(k keys.Key) *tree.Cell {
+	c, _, ok := s.e.Resolve(k)
+	if !ok {
+		return nil
+	}
+	return c
+}
+
+func (s gsource) LeafBodies(c *tree.Cell) ([]vec.V3, []float64) {
+	b := s.e.leafColumns(c)
+	return b.Pos, b.Mass
+}
+
+// Kick advances velocities by dt using the current accelerations.
+func (e *ParallelEngine) Kick(dt float64) {
+	for i := range e.Sys.Vel {
+		e.Sys.Vel[i] = e.Sys.Vel[i].Add(e.Sys.Acc[i].Scale(dt))
+	}
+}
+
+// Drift advances positions by dt using the current velocities.
+func (e *ParallelEngine) Drift(dt float64) {
+	for i := range e.Sys.Pos {
+		e.Sys.Pos[i] = e.Sys.Pos[i].Add(e.Sys.Vel[i].Scale(dt))
+	}
+}
+
+// Step advances one kick-drift-kick leapfrog step. The engine's
+// accelerations must be current (call Eval once before the first
+// Step). The evaluation inside redistributes particles, so callers
+// must track them by ID.
+func (e *ParallelEngine) Step(dt float64) diag.Counters {
+	e.Kick(dt / 2)
+	e.Drift(dt)
+	ctr := e.Eval()
+	e.Kick(dt / 2)
+	return ctr
+}

@@ -1,15 +1,10 @@
 package vortex
 
 import (
-	"fmt"
-	"sort"
-
-	"repro/internal/abm"
 	"repro/internal/core"
 	"repro/internal/diag"
-	"repro/internal/domain"
 	"repro/internal/grav"
-	"repro/internal/htab"
+	"repro/internal/hotengine"
 	"repro/internal/keys"
 	"repro/internal/msg"
 	"repro/internal/tree"
@@ -19,208 +14,109 @@ import (
 // ParallelEngine evaluates the vortex particle method on the
 // distributed hashed oct-tree, exactly as the paper ran the two-ring
 // fusion across Hyglac's 16 processors: the same decomposition,
-// branch-exchange and batched request machinery as gravity
-// (internal/parallel), but with vector-valued cell moments (total
-// strength at the strength-weighted centroid) and the Biot-Savart /
-// stretching kernels.
+// branch-exchange and batched request machinery as gravity -- now
+// literally the same code, the shared pipeline in internal/hotengine
+// -- instantiated with vector-valued cell moments (total strength at
+// the strength-weighted centroid) and the Biot-Savart / stretching
+// kernels. Completed group walks are swept with the batched SoA
+// kernels (evalVelMono/evalVelPP), the same two-phase evaluation as
+// the serial TreeEval.
 type ParallelEngine struct {
-	C     *msg.Comm
-	Sys   *core.System
+	*hotengine.Engine[vec.V3, VLeaf]
 	Sigma float64
 	Theta float64
 
-	domainBox keys.Domain
-	splits    []uint64
-	local     *tree.Tree
-	prefA     []vec.V3
+	phys   *vphysics
+	list   vList
+	tg     vTargets
+	stack  []keys.Key
+	dAlpha []vec.V3
+}
 
-	top      *htab.Table[tree.Cell]
-	topASum  *htab.Table[vec.V3]
-	imported *htab.Table[tree.Cell]
-	impASum  *htab.Table[vec.V3]
+// VLeaf is the vortex leaf payload of a request reply: position and
+// strength columns, aliasing the serving rank's storage.
+type VLeaf struct {
+	Pos   []vec.V3
+	Alpha []vec.V3
+}
+
+// vphysics is the vortex instantiation of hotengine.Physics: the
+// per-cell payload is the cell's total strength (a vector the
+// geometric multipole cannot carry), derived from prefix sums over
+// the key-sorted strengths.
+type vphysics struct {
+	e     *ParallelEngine
+	prefA []vec.V3
+
 	impPos   []vec.V3
 	impAlpha []vec.V3
+}
 
-	// Counters accumulates across evaluations.
-	Counters diag.Counters
-	// Rounds/RemoteCells describe the last evaluation.
-	Rounds      int
-	RemoteCells int
+// Prepare derives the structural mass |alpha| so the tree geometry
+// (COM, RCrit) follows the vorticity distribution.
+func (p *vphysics) Prepare(sys *core.System) {
+	for i := 0; i < sys.Len(); i++ {
+		sys.Mass[i] = sys.Alpha[i].Norm()
+	}
+}
+
+// PostBuild computes prefix sums of alpha, giving every local cell's
+// total strength from its contiguous body range in O(1).
+func (p *vphysics) PostBuild(t *tree.Tree) {
+	n := p.e.Sys.Len()
+	p.prefA = make([]vec.V3, n+1)
+	for i := 0; i < n; i++ {
+		p.prefA[i+1] = p.prefA[i].Add(p.e.Sys.Alpha[i])
+	}
+}
+
+func (p *vphysics) Extra(c *tree.Cell) vec.V3 {
+	return p.prefA[c.First+c.N].Sub(p.prefA[c.First])
+}
+
+func (p *vphysics) CombineExtra(acc, child vec.V3) vec.V3 { return acc.Add(child) }
+
+func (p *vphysics) PackLeaf(c *tree.Cell) VLeaf {
+	pos, alpha := p.e.leafBodies(c)
+	return VLeaf{Pos: pos, Alpha: alpha}
+}
+
+func (p *vphysics) ImportLeaf(n int32, b VLeaf) int32 {
+	start := int32(len(p.impPos))
+	p.impPos = append(p.impPos, b.Pos...)
+	p.impAlpha = append(p.impAlpha, b.Alpha...)
+	return start
+}
+
+func (p *vphysics) ResetImports() {
+	p.impPos = p.impPos[:0]
+	p.impAlpha = p.impAlpha[:0]
 }
 
 // NewParallel wraps this rank's particles.
 func NewParallel(c *msg.Comm, sys *core.System, sigma, theta float64) *ParallelEngine {
 	sys.EnableDynamics()
 	sys.EnableVortex()
-	return &ParallelEngine{C: c, Sys: sys, Sigma: sigma, Theta: theta}
+	e := &ParallelEngine{Sigma: sigma, Theta: theta}
+	e.phys = &vphysics{e: e}
+	e.Engine = hotengine.New[vec.V3, VLeaf](c, sys, e.phys, hotengine.Config{
+		MAC:         grav.MACParams{Kind: grav.MACBarnesHut, Theta: theta, Quad: false},
+		Bucket:      32,
+		PhasePrefix: "v",
+	})
+	return e
 }
-
-// vcellWire is the packed cell payload: geometric moments plus the
-// vector strength sum, plus leaf particle data in replies.
-type vcellWire struct {
-	Key       keys.Key
-	Mp        grav.Multipole
-	ASum      vec.V3
-	RCrit     float64
-	N         int32
-	ChildMask uint8
-	Leaf      bool
-	Pos       []vec.V3
-	Alpha     []vec.V3
-}
-
-const vcellWireBytes = 8 + 12*8 + 3*8 + 8 + 4 + 2
 
 // Eval runs one distributed evaluation: sys.Vel is filled and the
 // returned slice holds dalpha/dt for the (redistributed, key-sorted)
 // local particles.
 func (e *ParallelEngine) Eval() []vec.V3 {
-	// Structural mass = |alpha| so the tree geometry (COM, RCrit)
-	// follows the vorticity distribution.
-	for i := 0; i < e.Sys.Len(); i++ {
-		e.Sys.Mass[i] = e.Sys.Alpha[i].Norm()
-	}
-	e.domainBox = domain.GlobalDomain(e.C, e.Sys)
-	res := domain.Decompose(e.C, e.Sys, e.domainBox)
-	e.Sys = res.Sys
-	e.splits = res.Splits
-
-	mac := grav.MACParams{Kind: grav.MACBarnesHut, Theta: e.Theta, Quad: false}
-	e.C.Phase("vtreebuild")
-	e.local = tree.BuildRange(e.Sys, e.domainBox, mac, 32,
-		e.splits[e.C.Rank()], e.splits[e.C.Rank()+1])
-	e.Counters.CellsBuilt += uint64(e.local.NCells())
-
-	n := e.Sys.Len()
-	e.prefA = make([]vec.V3, n+1)
-	for i := 0; i < n; i++ {
-		e.prefA[i+1] = e.prefA[i].Add(e.Sys.Alpha[i])
-	}
-
-	e.exchangeBranches(mac)
-	e.C.Phase("vwalk")
-	return e.walkAll()
-}
-
-// localASum returns the strength sum of a local cell from the prefix
-// sums.
-func (e *ParallelEngine) localASum(c *tree.Cell) vec.V3 {
-	return e.prefA[c.First+c.N].Sub(e.prefA[c.First])
-}
-
-func (e *ParallelEngine) exchangeBranches(mac grav.MACParams) {
-	e.C.Phase("vbranches")
-	var mine []vcellWire
-	for _, bk := range tree.RangeDecompose(e.splits[e.C.Rank()], e.splits[e.C.Rank()+1]) {
-		c := e.local.Cell(bk)
-		if c == nil {
-			continue
-		}
-		mine = append(mine, vcellWire{
-			Key: bk, Mp: c.Mp, ASum: e.localASum(c), RCrit: c.RCrit,
-			N: c.N, ChildMask: c.ChildMask, Leaf: c.Leaf,
-		})
-	}
-	all := msg.Allgather(e.C, mine, vcellWireBytes*len(mine))
-
-	e.top = htab.New[tree.Cell](256)
-	e.topASum = htab.New[vec.V3](256)
-	e.imported = htab.New[tree.Cell](1024)
-	e.impASum = htab.New[vec.V3](1024)
-	e.impPos = e.impPos[:0]
-	e.impAlpha = e.impAlpha[:0]
-	e.RemoteCells = 0
-
-	var branchKeys []keys.Key
-	for r, batch := range all {
-		for _, w := range batch {
-			c := tree.Cell{
-				Key: w.Key, Mp: w.Mp, RCrit: w.RCrit, N: w.N,
-				ChildMask: w.ChildMask, Leaf: w.Leaf,
-			}
-			if r == e.C.Rank() {
-				c.First = e.local.Cell(w.Key).First
-			} else if w.Leaf {
-				c.First = -1 << 30 // unfetched sentinel
-			}
-			e.top.Insert(w.Key, c)
-			e.topASum.Insert(w.Key, w.ASum)
-			branchKeys = append(branchKeys, w.Key)
-		}
-	}
-	// Ancestors, deepest first.
-	anc := map[keys.Key]bool{}
-	for _, bk := range branchKeys {
-		for k := bk.Parent(); k != keys.Invalid; k = k.Parent() {
-			if anc[k] {
-				break
-			}
-			anc[k] = true
-		}
-	}
-	order := make([]keys.Key, 0, len(anc))
-	for k := range anc {
-		order = append(order, k)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i].Level() > order[j].Level() })
-	for _, k := range order {
-		var children []grav.Multipole
-		var mask uint8
-		var nb int32
-		var asum vec.V3
-		for oct := 0; oct < 8; oct++ {
-			ck := k.Child(oct)
-			if cc := e.top.Ptr(ck); cc != nil {
-				children = append(children, cc.Mp)
-				mask |= 1 << uint(oct)
-				nb += cc.N
-				if av := e.topASum.Ptr(ck); av != nil {
-					asum = asum.Add(*av)
-				}
-			}
-		}
-		mp := grav.Combine(children)
-		center, size := e.domainBox.CellCenter(k)
-		mac := grav.MACParams{Kind: grav.MACBarnesHut, Theta: e.Theta, Quad: false}
-		e.top.Insert(k, tree.Cell{
-			Key: k, Mp: mp, N: nb, ChildMask: mask,
-			RCrit: grav.RCrit(&mp, size, mp.COM.Sub(center).Norm(), mac),
-		})
-		e.topASum.Insert(k, asum)
-	}
-}
-
-func (e *ParallelEngine) ownerOf(k keys.Key) int {
-	off := tree.KeyOffset(k.MinBody())
-	r := sort.Search(len(e.splits)-1, func(i int) bool { return e.splits[i+1] > off })
-	if r >= e.C.Size() {
-		r = e.C.Size() - 1
-	}
-	return r
-}
-
-// resolve finds a cell and its strength sum, or reports it missing.
-func (e *ParallelEngine) resolve(k keys.Key) (*tree.Cell, vec.V3, bool) {
-	if c := e.top.Ptr(k); c != nil {
-		if c.Leaf && c.First == -1<<30 {
-			if ic := e.imported.Ptr(k); ic != nil {
-				return ic, *e.impASum.Ptr(k), true
-			}
-			return nil, vec.V3{}, false
-		}
-		return c, *e.topASum.Ptr(k), true
-	}
-	if e.ownerOf(k) == e.C.Rank() {
-		c := e.local.Cell(k)
-		if c == nil {
-			return nil, vec.V3{}, false
-		}
-		return c, e.localASum(c), true
-	}
-	if ic := e.imported.Ptr(k); ic != nil {
-		return ic, *e.impASum.Ptr(k), true
-	}
-	return nil, vec.V3{}, false
+	e.Exchange()
+	e.dAlpha = make([]vec.V3, e.Sys.Len())
+	e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+		return e.walkGroup(g)
+	})
+	return e.dAlpha
 }
 
 // leafBodies returns positions and strengths of a leaf cell.
@@ -229,135 +125,58 @@ func (e *ParallelEngine) leafBodies(c *tree.Cell) ([]vec.V3, []vec.V3) {
 		return e.Sys.Pos[c.First : c.First+c.N], e.Sys.Alpha[c.First : c.First+c.N]
 	}
 	i := -(c.First + 1)
-	return e.impPos[i : i+c.N], e.impAlpha[i : i+c.N]
+	return e.phys.impPos[i : i+c.N], e.phys.impAlpha[i : i+c.N]
 }
 
-func (e *ParallelEngine) serve(src int, reqs []keys.Key) []vcellWire {
-	out := make([]vcellWire, len(reqs))
-	for i, k := range reqs {
-		c := e.local.Cell(k)
-		if c == nil {
-			panic(fmt.Sprintf("vortex: rank %d asked for unknown cell %v", src, k))
-		}
-		w := vcellWire{
-			Key: k, Mp: c.Mp, ASum: e.localASum(c), RCrit: c.RCrit,
-			N: c.N, ChildMask: c.ChildMask, Leaf: c.Leaf,
-		}
-		if c.Leaf {
-			w.Pos, w.Alpha = e.leafBodies(c)
-		}
-		out[i] = w
-	}
-	return out
-}
-
-func (e *ParallelEngine) importCell(w vcellWire) {
-	c := tree.Cell{
-		Key: w.Key, Mp: w.Mp, RCrit: w.RCrit, N: w.N,
-		ChildMask: w.ChildMask, Leaf: w.Leaf,
-	}
-	if w.Leaf {
-		start := int32(len(e.impPos))
-		e.impPos = append(e.impPos, w.Pos...)
-		e.impAlpha = append(e.impAlpha, w.Alpha...)
-		c.First = -(start + 1)
-	}
-	e.imported.Insert(w.Key, c)
-	e.impASum.Insert(w.Key, w.ASum)
-	e.RemoteCells++
-}
-
-// walkGroup traverses for one group, returning missing keys (partial
-// results must be discarded and rewalked).
-func (e *ParallelEngine) walkGroup(gpos, galpha []vec.V3, gvel, gda []vec.V3, stack []keys.Key) (missing []keys.Key) {
+// walkGroup builds one group's interaction list (SoA source columns
+// plus a monopole slab), returning missing keys instead if any cell
+// is unresolved (the list is discarded and the group rewalked after
+// the data arrives). A completed list is swept with the batched
+// kernels.
+func (e *ParallelEngine) walkGroup(g *tree.Cell) (missing []keys.Key) {
+	sys := e.Sys
+	lo, hi := g.First, g.First+g.N
+	gpos, galpha := sys.Pos[lo:hi], sys.Alpha[lo:hi]
 	gc, gr := tree.GroupSphere(gpos)
 	s2 := e.Sigma * e.Sigma
-	stack = stack[:0]
-	stack = append(stack, keys.Root)
-	for len(stack) > 0 {
-		k := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		c, asum, ok := e.resolve(k)
+	e.list.reset()
+	e.stack = append(e.stack[:0], keys.Root)
+	for len(e.stack) > 0 {
+		k := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		c, asum, ok := e.Resolve(k)
 		if !ok {
 			missing = append(missing, k)
 			continue
 		}
 		e.Counters.Traversals++
 		if c.Mp.M == 0 {
-			continue
+			continue // zero total |alpha|: no contribution
 		}
 		dd := c.Mp.COM.Sub(gc).Norm()
 		if dd-gr > c.RCrit && dd > gr {
-			m := cellMoment{ASum: asum, Centroid: c.Mp.COM}
-			velMono(gpos, galpha, gvel, gda, &m, s2, &e.Counters)
+			e.list.cells = append(e.list.cells, cellMoment{ASum: *asum, Centroid: c.Mp.COM})
 			continue
 		}
 		if c.Leaf {
 			spos, salpha := e.leafBodies(c)
-			velTile(gpos, galpha, gvel, gda, spos, salpha, s2, &e.Counters)
+			e.list.addBodies(spos, salpha)
 			continue
 		}
 		for oct := 0; oct < 8; oct++ {
 			if c.ChildMask&(1<<uint(oct)) != 0 {
-				stack = append(stack, k.Child(oct))
+				e.stack = append(e.stack, k.Child(oct))
 			}
 		}
 	}
-	return missing
-}
-
-func (e *ParallelEngine) walkAll() []vec.V3 {
-	eng := abm.New(e.C, 8, vcellWireBytes, e.serve)
-	sys := e.Sys
-	dAlpha := make([]vec.V3, sys.Len())
-	deferred := make([]keys.Key, len(e.local.Groups))
-	copy(deferred, e.local.Groups)
-	pending := map[keys.Key]bool{}
-	var stack []keys.Key
-
-	e.Rounds = 0
-	for round := 0; ; round++ {
-		if round > 64 {
-			panic("vortex: request rounds exceeded limit")
-		}
-		var still []keys.Key
-		for _, gk := range deferred {
-			g := e.local.Cell(gk)
-			lo, hi := g.First, g.First+g.N
-			for i := lo; i < hi; i++ {
-				sys.Vel[i] = vec.V3{}
-				dAlpha[i] = vec.V3{}
-			}
-			// Snapshot so a deferred group's discarded partial walk
-			// does not inflate the interaction counts.
-			snapshot := e.Counters
-			missing := e.walkGroup(sys.Pos[lo:hi], sys.Alpha[lo:hi], sys.Vel[lo:hi], dAlpha[lo:hi], stack)
-			if missing == nil {
-				continue
-			}
-			e.Counters = snapshot
-			e.Counters.Deferred++
-			still = append(still, gk)
-			for _, mk := range missing {
-				if !pending[mk] {
-					pending[mk] = true
-					e.Counters.Requests++
-					eng.Post(e.ownerOf(mk), mk)
-				}
-			}
-		}
-		deferred = still
-		if !eng.AnyPendingGlobal(len(deferred) > 0) {
-			break
-		}
-		for _, batch := range eng.Round() {
-			for _, w := range batch {
-				e.importCell(w)
-			}
-		}
-		e.Rounds++
+	if missing != nil {
+		return missing
 	}
-	return dAlpha
+	e.tg.load(gpos, galpha)
+	e.Counters.VortexPP += evalVelMono(&e.tg, e.list.cells, s2)
+	e.Counters.VortexPP += evalVelPP(&e.tg, &e.list, s2)
+	e.tg.store(sys.Vel[lo:hi], e.dAlpha[lo:hi])
+	return nil
 }
 
 // saved carries a particle's pre-step state across rank migrations.

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Repo-wide check: build, vet, race tests, and the fused-vs-batched
-# benchmark smoke (one iteration each, enough to catch a kernel
-# regression or an allocation creeping into the steady state).
+# Repo-wide check: build, vet, race tests, and the batched-walker
+# benchmark guardrail -- the ablation benches run once and are diffed
+# against the committed BENCH_baseline.json, failing on a >15% ns/op
+# regression or any steady-state allocation creeping in.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,6 +12,7 @@ echo "== go vet"
 go vet ./...
 echo "== go test -race"
 go test -race ./...
-echo "== bench smoke (Ablation_Batched, 1 iteration)"
-go test -run='^$' -bench=Ablation_Batched -benchtime=1x .
+echo "== benchcmp (Ablation_Batched vs BENCH_baseline.json, tol 15%)"
+go test -run='^$' -bench=Ablation_Batched -benchtime=1x . |
+	go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_Batched' -tol 0.15
 echo "== ok"
