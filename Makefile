@@ -5,11 +5,26 @@ check:
 	sh scripts/check.sh
 
 # Regenerate the committed performance baseline (ablation benches at
-# one iteration each, parsed to JSON by cmd/benchdump).
+# one iteration each, parsed to JSON by cmd/benchdump). A short
+# treebench run supplies the RunReport whose flop-rate context is
+# embedded alongside the numbers ("sim" field), so the baseline records
+# what the machine achieved end to end when it was cut.
 bench-baseline:
-	go test -run='^$$' -bench=Ablation -benchtime=1x . | go run ./cmd/benchdump -o BENCH_baseline.json
+	go run ./cmd/treebench -n 50000 -procs 4 -steps 1 -metrics /tmp/treebench_report.json >/dev/null
+	go test -run='^$$' -bench=Ablation -benchtime=1x . | go run ./cmd/benchdump -runreport /tmp/treebench_report.json -o BENCH_baseline.json
 
-.PHONY: check bench-baseline
+# Opt-in end-to-end guardrail on the achieved flop rate: cut a sim
+# baseline once on a quiet machine, then simcmp fails (exit 1) if the
+# current run's flop rate is >15% below it. Too wall-clock-noisy for
+# check.sh; useful before/after perf work.
+simbaseline:
+	go run ./cmd/treebench -n 50000 -procs 4 -steps 1 -metrics SIM_baseline.json >/dev/null
+
+simcmp:
+	go run ./cmd/treebench -n 50000 -procs 4 -steps 1 -metrics /tmp/sim_current.json >/dev/null
+	go run ./cmd/perfreport -diff SIM_baseline.json /tmp/sim_current.json
+
+.PHONY: check bench-baseline simbaseline simcmp
 
 # Run just the benchmark guardrail: ablation benches at one iteration,
 # diffed against the committed baseline (fails on >15% regression).

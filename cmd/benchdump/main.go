@@ -29,6 +29,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Bench is one parsed benchmark result.
@@ -38,14 +40,27 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// SimContext is the slice of a RunReport a baseline carries along: a
+// bench number without the simulation that produced it (bodies, ranks,
+// achieved flop rate) is hard to interpret a month later.
+type SimContext struct {
+	Command      string  `json:"command"`
+	NP           int     `json:"np"`
+	Bodies       int     `json:"bodies"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Interactions uint64  `json:"interactions"`
+	FlopsRate    float64 `json:"flops_rate"`
+}
+
 // Baseline is the emitted document.
 type Baseline struct {
-	Go         string  `json:"go"`
-	GOOS       string  `json:"goos,omitempty"`
-	GOARCH     string  `json:"goarch,omitempty"`
-	CPU        string  `json:"cpu,omitempty"`
-	Pkg        string  `json:"pkg,omitempty"`
-	Benchmarks []Bench `json:"benchmarks"`
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Sim        *SimContext `json:"sim,omitempty"`
+	Benchmarks []Bench     `json:"benchmarks"`
 }
 
 func main() {
@@ -53,6 +68,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON to compare stdin against (compare mode)")
 	match := flag.String("match", "", "regexp restricting which benchmarks -compare checks")
 	tol := flag.Float64("tol", 0.15, "allowed fractional ns/op regression in -compare mode")
+	runreport := flag.String("runreport", "", "RunReport JSON (from a sim's -metrics) whose flop-rate context to embed")
 	flag.Parse()
 
 	base := Baseline{Go: runtime.Version()}
@@ -88,6 +104,22 @@ func main() {
 	sort.Slice(base.Benchmarks, func(i, j int) bool {
 		return base.Benchmarks[i].Name < base.Benchmarks[j].Name
 	})
+
+	if *runreport != "" {
+		rep, err := metrics.ReadReport(*runreport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump: -runreport:", err)
+			os.Exit(1)
+		}
+		base.Sim = &SimContext{
+			Command:      rep.Command,
+			NP:           rep.NP,
+			Bodies:       rep.Bodies,
+			WallSeconds:  rep.WallSeconds,
+			Interactions: rep.Totals.Interactions,
+			FlopsRate:    rep.Totals.FlopsRate,
+		}
+	}
 
 	if *compare != "" {
 		os.Exit(compareBaseline(base, *compare, *match, *tol))
@@ -132,6 +164,10 @@ func compareBaseline(cur Baseline, path, match string, tol float64) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdump: -match:", err)
 		return 1
+	}
+	if base.Sim != nil {
+		fmt.Printf("baseline context: %s np=%d n=%d, %.2f Mflops-equivalent\n",
+			base.Sim.Command, base.Sim.NP, base.Sim.Bodies, base.Sim.FlopsRate/1e6)
 	}
 	baseBy := make(map[string]Bench, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {

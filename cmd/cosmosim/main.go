@@ -14,10 +14,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/cosmo"
 	"repro/internal/grav"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/parallel"
 	"repro/internal/render"
 	"repro/internal/snapio"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -29,6 +31,10 @@ func main() {
 	outDir := flag.String("out", ".", "output directory")
 	image := flag.String("image", "cosmo.pgm", "final density image (empty = off)")
 	halos := flag.Bool("halos", true, "run the FOF halo finder at the end")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline (open in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics", "", "write a machine-readable RunReport JSON (render with cmd/perfreport)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
 
 	r, err := cosmo.NewRealization(cosmo.Params{
@@ -42,10 +48,35 @@ func main() {
 	sys := cosmo.SphereWithBuffer(full, vec.V3{}, 0.40, 0.50)
 	fmt.Printf("ICs: %d of %d bodies in sphere+buffer, H0=%.3f\n", sys.Len(), full.Len(), h0)
 
+	if *cpuprofile != "" {
+		stop, err := trace.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+
+	// Observability: -trace records per-rank timelines, -metrics
+	// feeds the stall histogram and the final RunReport. Both are
+	// nil (zero-cost) when the flags are off.
+	var run *trace.Run
+	if *traceOut != "" {
+		run = trace.NewRun(*procs)
+	}
+	var reg *metrics.Registry
+	var stalls *metrics.Histogram
+	if *metricsOut != "" || *traceOut != "" {
+		reg = metrics.NewRegistry()
+		stalls = reg.Histogram(metrics.StallHistogram)
+	}
+
 	n := sys.Len()
 	engines := make([]*parallel.Engine, *procs)
+	w := msg.NewWorld(*procs)
+	w.SetTrace(run)
 	start := time.Now()
-	msg.Run(*procs, func(c *msg.Comm) {
+	w.Run(func(c *msg.Comm) {
 		local := core.New(0)
 		local.EnableDynamics()
 		lo, hi := c.Rank()*n / *procs, (c.Rank()+1)*n / *procs
@@ -56,6 +87,10 @@ func main() {
 			MAC:  grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 3e-3, Quad: true},
 			Eps2: 1e-6,
 		})
+		if run != nil {
+			e.EnableTrace(run.Rank(c.Rank()))
+		}
+		e.Stalls = stalls
 		e.ComputeForces()
 		for s := 0; s < *steps; s++ {
 			ctr := e.Step(5e-4)
@@ -83,6 +118,33 @@ func main() {
 	}
 	fmt.Printf("done: %.1fs host, %d bodies, %.2f Gflops-equivalent\n",
 		wall, out.Len(), float64(flops)/wall/1e9)
+
+	if *metricsOut != "" {
+		inputs := make([]metrics.RankInput, len(engines))
+		for r, e := range engines {
+			inputs[r] = e.Report()
+		}
+		rep := metrics.BuildReport("cosmosim", out.Len(), wall, inputs, w, reg)
+		if err := rep.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote RunReport %s (render: go run ./cmd/perfreport %s)\n", *metricsOut, *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := run.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace %s (%d events dropped); open in chrome://tracing or ui.perfetto.dev\n",
+			*traceOut, run.Dropped())
+	}
+	if *memprofile != "" {
+		if err := trace.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *snapEvery > 0 {
 		if err := snapio.WriteStriped(*outDir, "cosmo", out, float64(*steps), 4); err != nil {

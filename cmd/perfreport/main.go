@@ -1,0 +1,60 @@
+// Command perfreport renders the RunReport JSON that the simulation
+// drivers emit under -metrics as paper-style tables: headline flop
+// rate, per-rank work, per-phase load balance, the NxN communication
+// matrix, and latency histograms.
+//
+// Usage:
+//
+//	perfreport run.json              render one report
+//	perfreport -diff base.json cur.json
+//	                                 render both side by side and exit
+//	                                 non-zero if the current flop rate
+//	                                 regressed more than -tol (15%)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "compare two reports: perfreport -diff base.json cur.json")
+	tol := flag.Float64("tol", 0.15, "fractional flop-rate drop tolerated by -diff before failing")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: perfreport -diff base.json cur.json")
+			os.Exit(2)
+		}
+		base, err := metrics.ReadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfreport:", err)
+			os.Exit(2)
+		}
+		cur, err := metrics.ReadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfreport:", err)
+			os.Exit(2)
+		}
+		if metrics.Diff(os.Stdout, base, cur, *tol) {
+			fmt.Fprintf(os.Stderr, "perfreport: flop rate regressed more than %.0f%%\n", *tol*100)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: perfreport run.json  |  perfreport -diff base.json cur.json")
+		os.Exit(2)
+	}
+	rep, err := metrics.ReadReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfreport:", err)
+		os.Exit(2)
+	}
+	rep.Render(os.Stdout)
+}

@@ -9,14 +9,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/ic"
 	"repro/internal/integrate"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/sph"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -26,7 +30,36 @@ func main() {
 	dt := flag.Float64("dt", 4e-3, "timestep")
 	cs := flag.Float64("cs", 0.8, "isothermal sound speed of the gas run")
 	procs := flag.Int("procs", 1, "in-process ranks (>1 runs the distributed engine)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the gas run (needs -procs > 1)")
+	metricsOut := flag.String("metrics", "", "write a machine-readable RunReport JSON of the gas run (needs -procs > 1)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := trace.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if (*traceOut != "" || *metricsOut != "") && *procs <= 1 {
+		fmt.Fprintln(os.Stderr, "-trace/-metrics instrument the distributed engine; use -procs > 1")
+		os.Exit(1)
+	}
+	// Only the gas run is instrumented: it is the physics of interest;
+	// the pressureless control is a reference computation.
+	var run *trace.Run
+	if *traceOut != "" {
+		run = trace.NewRun(*procs)
+	}
+	var reg *metrics.Registry
+	var stalls *metrics.Histogram
+	if *metricsOut != "" || *traceOut != "" {
+		reg = metrics.NewRegistry()
+		stalls = reg.Histogram(metrics.StallHistogram)
+	}
 
 	fmt.Printf("N = %d gas particles, %d steps of dt = %g", *n, *steps, *dt)
 	if *procs > 1 {
@@ -36,11 +69,38 @@ func main() {
 	var gas, control *core.System
 	var ctrGas, ctrCtl diag.Counters
 	if *procs > 1 {
-		gas, ctrGas = runParallel(*n, *steps, *dt, *cs, *procs)
-		control, ctrCtl = runParallel(*n, *steps, *dt, 0, *procs)
+		start := time.Now()
+		gasRun := runParallel(*n, *steps, *dt, *cs, *procs, run, stalls)
+		wall := time.Since(start).Seconds()
+		gas, ctrGas = gasRun.sys, gasRun.total
+
+		if *metricsOut != "" {
+			rep := metrics.BuildReport("sphsim", gas.Len(), wall, gasRun.inputs, gasRun.world, reg)
+			if err := rep.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote RunReport %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			if err := run.WriteChromeFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote trace %s (%d events dropped)\n", *traceOut, run.Dropped())
+		}
+
+		ctl := runParallel(*n, *steps, *dt, 0, *procs, nil, nil)
+		control, ctrCtl = ctl.sys, ctl.total
 	} else {
-		gas, ctrGas = run(*n, *steps, *dt, *cs)
-		control, ctrCtl = run(*n, *steps, *dt, 0)
+		gas, ctrGas = serialRun(*n, *steps, *dt, *cs)
+		control, ctrCtl = serialRun(*n, *steps, *dt, 0)
+	}
+	if *memprofile != "" {
+		if err := trace.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
 	}
 
 	fGas := centralMassFraction(gas)
@@ -56,10 +116,10 @@ func main() {
 	fmt.Printf("      control  %d gravity interactions\n", ctrCtl.Interactions())
 }
 
-// run evolves a cold uniform gas sphere under gravity plus isothermal
-// pressure (cs = 0 disables pressure). Both force evaluations share
-// one tree build per step.
-func run(n, steps int, dt, cs float64) (*core.System, diag.Counters) {
+// serialRun evolves a cold uniform gas sphere under gravity plus
+// isothermal pressure (cs = 0 disables pressure). Both force
+// evaluations share one tree build per step.
+func serialRun(n, steps int, dt, cs float64) (*core.System, diag.Counters) {
 	sys := ic.UniformSphere(n, 1.0, 99)
 	sys.EnableSPH()
 	for i := range sys.H {
@@ -91,13 +151,24 @@ func run(n, steps int, dt, cs float64) (*core.System, diag.Counters) {
 	return sys, total
 }
 
+// parallelRun is what runParallel hands back: the gathered system,
+// summed counters, and the world plus per-rank inputs the RunReport
+// needs.
+type parallelRun struct {
+	sys    *core.System
+	total  diag.Counters
+	world  *msg.World
+	inputs []metrics.RankInput
+}
+
 // runParallel evolves the same gas sphere on the distributed engine:
 // each in-process rank owns a slab of particles and the hotengine
 // pipeline handles decomposition, halo exchange and the gravity walk.
 // The pressureless control disables viscosity along with the sound
-// speed, which zeroes the SPH acceleration exactly. Returns the
-// gathered global system and the summed counters.
-func runParallel(n, steps int, dt, cs float64, procs int) (*core.System, diag.Counters) {
+// speed, which zeroes the SPH acceleration exactly. run and stalls,
+// when non-nil, instrument every rank.
+func runParallel(n, steps int, dt, cs float64, procs int,
+	run *trace.Run, stalls *metrics.Histogram) parallelRun {
 	p := sph.Params{EOS: sph.Isothermal, CS: cs, AlphaVisc: 1, BetaVisc: 2}
 	if cs == 0 {
 		p.AlphaVisc, p.BetaVisc = 0, 0
@@ -108,7 +179,10 @@ func runParallel(n, steps int, dt, cs float64, procs int) (*core.System, diag.Co
 	merged := core.New(0)
 	merged.EnableDynamics()
 	merged.EnableSPH()
-	msg.Run(procs, func(c *msg.Comm) {
+	inputs := make([]metrics.RankInput, procs)
+	w := msg.NewWorld(procs)
+	w.SetTrace(run)
+	w.Run(func(c *msg.Comm) {
 		global := ic.UniformSphere(n, 1.0, 99)
 		global.EnableSPH()
 		for i := range global.H {
@@ -125,6 +199,10 @@ func runParallel(n, steps int, dt, cs float64, procs int) (*core.System, diag.Co
 		e := sph.NewParallel(c, local, sph.ParallelConfig{
 			Params: p, Gravity: true, Eps2: 1e-4,
 		})
+		if run != nil {
+			e.EnableTrace(run.Rank(c.Rank()))
+		}
+		e.Stalls = stalls
 		ctr := e.Eval()
 		for s := 0; s < steps; s++ {
 			ctr.Add(e.Step(dt))
@@ -133,6 +211,7 @@ func runParallel(n, steps int, dt, cs float64, procs int) (*core.System, diag.Co
 		mu.Lock()
 		defer mu.Unlock()
 		total.Add(ctr)
+		inputs[c.Rank()] = e.Report()
 		for i := 0; i < e.Sys.Len(); i++ {
 			merged.AppendFrom(e.Sys, i)
 		}
@@ -144,7 +223,7 @@ func runParallel(n, steps int, dt, cs float64, procs int) (*core.System, diag.Co
 			fmt.Printf("  rounds=%d remoteCells=%d\n", e.Rounds, e.RemoteCells)
 		}
 	})
-	return merged, total
+	return parallelRun{sys: merged, total: total, world: w, inputs: inputs}
 }
 
 // centralMassFraction returns the mass fraction within 0.1 of the

@@ -6,14 +6,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/grav"
 	"repro/internal/ic"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/parallel"
 	"repro/internal/perfmodel"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -23,7 +26,30 @@ func main() {
 	theta := flag.Float64("theta", 0, "Barnes-Hut opening angle (0 = use -atol)")
 	atol := flag.Float64("atol", 1e-4, "Salmon-Warren acceleration error bound")
 	bucket := flag.Int("bucket", 16, "tree leaf size")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline")
+	metricsOut := flag.String("metrics", "", "write a machine-readable RunReport JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := trace.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	var run *trace.Run
+	if *traceOut != "" {
+		run = trace.NewRun(*procs)
+	}
+	var reg *metrics.Registry
+	var stalls *metrics.Histogram
+	if *metricsOut != "" || *traceOut != "" {
+		reg = metrics.NewRegistry()
+		stalls = reg.Histogram(metrics.StallHistogram)
+	}
 
 	global := ic.Plummer(*n, 1.0, 42)
 	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: *atol, Quad: true}
@@ -32,8 +58,10 @@ func main() {
 	}
 
 	engines := make([]*parallel.Engine, *procs)
+	w := msg.NewWorld(*procs)
+	w.SetTrace(run)
 	start := time.Now()
-	w := msg.Run(*procs, func(c *msg.Comm) {
+	w.Run(func(c *msg.Comm) {
 		local := core.New(0)
 		local.EnableDynamics()
 		lo, hi := c.Rank()**n / *procs, (c.Rank()+1)**n / *procs
@@ -41,6 +69,10 @@ func main() {
 			local.AppendFrom(global, i)
 		}
 		e := parallel.New(c, local, parallel.Config{MAC: mac, Bucket: *bucket, Eps2: 1e-6})
+		if run != nil {
+			e.EnableTrace(run.Rank(c.Rank()))
+		}
+		e.Stalls = stalls
 		e.ComputeForces()
 		for s := 0; s < *steps; s++ {
 			e.Step(1e-3)
@@ -62,6 +94,32 @@ func main() {
 	fmt.Printf("host: %.2fs wall, %.2f Gflops-equivalent\n", wall, float64(flops)/wall/1e9)
 	comm := w.MaxRankTraffic()
 	fmt.Printf("comm (max rank): %d msgs, %.2f MB\n", comm.Msgs, float64(comm.Bytes)/1e6)
+
+	if *metricsOut != "" {
+		inputs := make([]metrics.RankInput, len(engines))
+		for r, e := range engines {
+			inputs[r] = e.Report()
+		}
+		rep := metrics.BuildReport("treebench", *n, wall, inputs, w, reg)
+		if err := rep.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote RunReport %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := run.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace %s (%d events dropped)\n", *traceOut, run.Dropped())
+	}
+	if *memprofile != "" {
+		if err := trace.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+	}
 	for _, m := range []*perfmodel.Machine{&perfmodel.Loki, &perfmodel.ASCIRed} {
 		est := m.Model(flops, perfmodel.RegimeTreeEarly, comm)
 		fmt.Printf("modeled on %s\n  %s\n", m.Name, est)

@@ -7,14 +7,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/ic"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/perfmodel"
+	"repro/internal/trace"
 	"repro/internal/vec"
 	"repro/internal/vortex"
 )
@@ -28,7 +31,34 @@ func main() {
 	sigma := flag.Float64("sigma", 0.12, "core smoothing radius")
 	theta := flag.Float64("theta", 0.5, "opening angle")
 	procs := flag.Int("procs", 1, "in-process ranks (>1 runs the distributed engine; remeshing off)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline (needs -procs > 1)")
+	metricsOut := flag.String("metrics", "", "write a machine-readable RunReport JSON (needs -procs > 1)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := trace.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if (*traceOut != "" || *metricsOut != "") && *procs <= 1 {
+		fmt.Fprintln(os.Stderr, "-trace/-metrics instrument the distributed engine; use -procs > 1")
+		os.Exit(1)
+	}
+	var run *trace.Run
+	if *traceOut != "" {
+		run = trace.NewRun(*procs)
+	}
+	var reg *metrics.Registry
+	var stalls *metrics.Histogram
+	if *metricsOut != "" || *traceOut != "" {
+		reg = metrics.NewRegistry()
+		stalls = reg.Histogram(metrics.StallHistogram)
+	}
 
 	sys := core.New(0)
 	sys.EnableDynamics()
@@ -39,9 +69,11 @@ func main() {
 	fmt.Printf("initial particles: %d (paper run: 57,000)\n", sys.Len())
 
 	var total diag.Counters
+	var w *msg.World
+	var inputs []metrics.RankInput
 	start := time.Now()
 	if *procs > 1 {
-		sys, total = runParallel(sys, *steps, *dt, *sigma, *theta, *procs)
+		sys, total, w, inputs = runParallel(sys, *steps, *dt, *sigma, *theta, *procs, run, stalls)
 	} else {
 		for s := 0; s < *steps; s++ {
 			ctr := vortex.Step(sys, *sigma, *theta, *dt)
@@ -67,6 +99,28 @@ func main() {
 	est := perfmodel.Hyglac.Model(total.Flops(), perfmodel.RegimeTreeClustered, msg.PhaseTraffic{})
 	fmt.Printf("modeled on %s: %s (paper sustained ~950 Mflops over 20 h)\n",
 		perfmodel.Hyglac.Name, est)
+
+	if *metricsOut != "" {
+		rep := metrics.BuildReport("vortexsim", sys.Len(), wall, inputs, w, reg)
+		if err := rep.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote RunReport %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := run.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace %s (%d events dropped)\n", *traceOut, run.Dropped())
+	}
+	if *memprofile != "" {
+		if err := trace.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runParallel evolves the ring pair on the distributed vortex engine:
@@ -75,14 +129,19 @@ func main() {
 // batched request rounds. Returns the gathered final system and the
 // summed counters; rank 0 prints the per-phase timer breakdown the
 // shared core provides (the diagnostics parity gravity always had).
-func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs int) (*core.System, diag.Counters) {
+// run and stalls, when non-nil, instrument every rank.
+func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs int,
+	run *trace.Run, stalls *metrics.Histogram) (*core.System, diag.Counters, *msg.World, []metrics.RankInput) {
 	n := global.Len()
 	var mu sync.Mutex
 	var total diag.Counters
 	merged := core.New(0)
 	merged.EnableDynamics()
 	merged.EnableVortex()
-	msg.Run(procs, func(c *msg.Comm) {
+	inputs := make([]metrics.RankInput, procs)
+	w := msg.NewWorld(procs)
+	w.SetTrace(run)
+	w.Run(func(c *msg.Comm) {
 		lo, hi := c.Rank()*n/c.Size(), (c.Rank()+1)*n/c.Size()
 		local := core.New(0)
 		local.EnableDynamics()
@@ -92,6 +151,10 @@ func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs
 		}
 
 		e := vortex.NewParallel(c, local, sigma, theta)
+		if run != nil {
+			e.EnableTrace(run.Rank(c.Rank()))
+		}
+		e.Stalls = stalls
 		for s := 0; s < steps; s++ {
 			e.Step(dt)
 		}
@@ -99,6 +162,7 @@ func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs
 		mu.Lock()
 		defer mu.Unlock()
 		total.Add(e.Counters)
+		inputs[c.Rank()] = e.Report()
 		for i := 0; i < e.Sys.Len(); i++ {
 			merged.AppendFrom(e.Sys, i)
 		}
@@ -113,5 +177,5 @@ func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs
 	c := vortex.Centroid(merged.Pos, merged.Alpha)
 	i := vortex.LinearImpulse(merged.Pos, merged.Alpha)
 	fmt.Printf("final state: centroid z=%.3f, impulse=(%.3f,%.3f,%.3f)\n", c.Z, i.X, i.Y, i.Z)
-	return merged, total
+	return merged, total, w, inputs
 }

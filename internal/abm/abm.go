@@ -14,7 +14,10 @@
 // beyond the original key list.
 package abm
 
-import "repro/internal/msg"
+import (
+	"repro/internal/msg"
+	"repro/internal/trace"
+)
 
 // Engine batches Req values per destination rank and exchanges them
 // in rounds, invoking Handler on the serving side.
@@ -32,6 +35,9 @@ type Engine[Req, Rep any] struct {
 	Served uint64
 	// Rounds counts exchange rounds executed.
 	Rounds uint64
+	// Trace, when non-nil, receives one "abm.round" span per Round
+	// call on this rank's timeline (nil = off, zero cost).
+	Trace *trace.Tracer
 }
 
 // New creates an engine on communicator c. reqBytes and repBytes are
@@ -70,6 +76,8 @@ func (e *Engine[Req, Rep]) PendingLocal() bool {
 // aligned with posting order. Ranks with nothing to send still
 // participate (they may be serving others).
 func (e *Engine[Req, Rep]) Round() [][]Rep {
+	t0 := e.Trace.Now()
+	defer func() { e.Trace.Span("abm.round", t0) }()
 	e.Rounds++
 	out := e.queues
 	e.queues = make([][]Req, e.c.Size())

@@ -63,11 +63,26 @@ func (c *Counters) Flops() uint64 {
 }
 
 // Timer accumulates wall-clock time per named phase.
+//
+// Concurrency contract: a Timer is single-owner. Exactly one
+// goroutine -- the rank's engine loop -- may call Start/Stop; the
+// engines uphold this by construction (each rank is one goroutine,
+// and worker pools never touch the rank's Timer). Readers (Get,
+// Phases, Total, String) must run after the owner has finished, which
+// is how every command uses it: msg.Run joins all ranks before any
+// report is built. This keeps the hot phase transitions free of
+// locks.
 type Timer struct {
 	phases map[string]time.Duration
 	order  []string
 	cur    string
 	start  time.Time
+
+	// Sink, when set, additionally receives every closed phase
+	// interval (name, wall-clock start, duration) -- the hook the
+	// trace layer uses to turn accumulated phase times into per-rank
+	// timeline spans. Called by the owner goroutine from Stop.
+	Sink func(phase string, start time.Time, d time.Duration)
 }
 
 // NewTimer returns an empty phase timer.
@@ -75,7 +90,9 @@ func NewTimer() *Timer {
 	return &Timer{phases: make(map[string]time.Duration)}
 }
 
-// Start begins (or resumes) a phase, ending any current one.
+// Start begins (or resumes) a phase, ending any current one: the
+// previous phase's elapsed time is banked (and reported to Sink)
+// before the new phase's clock starts.
 func (t *Timer) Start(phase string) {
 	t.Stop()
 	t.cur = phase
@@ -90,7 +107,11 @@ func (t *Timer) Stop() {
 	if _, ok := t.phases[t.cur]; !ok {
 		t.order = append(t.order, t.cur)
 	}
-	t.phases[t.cur] += time.Since(t.start)
+	d := time.Since(t.start)
+	t.phases[t.cur] += d
+	if t.Sink != nil {
+		t.Sink(t.cur, t.start, d)
+	}
 	t.cur = ""
 }
 
@@ -141,11 +162,17 @@ func BalanceOf(vals []float64) Balance {
 	for _, v := range sorted {
 		sum += v
 	}
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		// Even count: the midpoint average, not the upper-middle
+		// element.
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
 	b := Balance{
 		Min:    sorted[0],
 		Max:    sorted[len(sorted)-1],
 		Mean:   sum / float64(len(sorted)),
-		Median: sorted[len(sorted)/2],
+		Median: med,
 	}
 	if b.Max > 0 {
 		b.Efficiency = b.Mean / b.Max

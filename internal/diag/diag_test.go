@@ -65,6 +65,11 @@ func TestBalanceOf(t *testing.T) {
 	if b.Min != 1 || b.Max != 10 || b.Mean != 4 {
 		t.Fatalf("balance = %+v", b)
 	}
+	// Even-length median is the midpoint average, not the
+	// upper-middle element (regression: used to report 3 here).
+	if b.Median != 2.5 {
+		t.Fatalf("even-length median = %v, want 2.5", b.Median)
+	}
 	if b.Efficiency != 0.4 {
 		t.Fatalf("efficiency = %v", b.Efficiency)
 	}
@@ -74,6 +79,60 @@ func TestBalanceOf(t *testing.T) {
 	perfect := BalanceOf([]float64{5, 5, 5})
 	if perfect.Efficiency != 1 {
 		t.Fatalf("perfect efficiency = %v", perfect.Efficiency)
+	}
+	// Odd-length median is the middle element, unsorted input.
+	odd := BalanceOf([]float64{9, 1, 4})
+	if odd.Median != 4 {
+		t.Fatalf("odd-length median = %v, want 4", odd.Median)
+	}
+	two := BalanceOf([]float64{2, 4})
+	if two.Median != 3 {
+		t.Fatalf("two-element median = %v, want 3", two.Median)
+	}
+}
+
+// Start while a phase is running must close the previous phase: its
+// time is banked, it appears exactly once in first-start order, and
+// the Sink sees the closed interval before the new phase begins.
+func TestTimerStartClosesPrevious(t *testing.T) {
+	tm := NewTimer()
+	type closed struct {
+		phase string
+		start time.Time
+		d     time.Duration
+	}
+	var sunk []closed
+	tm.Sink = func(phase string, start time.Time, d time.Duration) {
+		sunk = append(sunk, closed{phase, start, d})
+	}
+
+	tm.Start("build")
+	time.Sleep(time.Millisecond)
+	tm.Start("walk") // must close "build" with nonzero duration
+	if got := tm.Get("build"); got <= 0 {
+		t.Fatalf("build not closed by Start: %v", got)
+	}
+	if len(sunk) != 1 || sunk[0].phase != "build" || sunk[0].d != tm.Get("build") {
+		t.Fatalf("sink after implicit close: %+v", sunk)
+	}
+	time.Sleep(time.Millisecond)
+	tm.Start("build") // resume: accumulates, no duplicate in order
+	tm.Stop()
+	if len(sunk) != 3 {
+		t.Fatalf("sink saw %d intervals, want 3", len(sunk))
+	}
+	if got := tm.Phases(); len(got) != 2 || got[0] != "build" || got[1] != "walk" {
+		t.Fatalf("phases = %v", got)
+	}
+	// The sink intervals tile without overlap: each starts no earlier
+	// than the previous one ended.
+	for i := 1; i < len(sunk); i++ {
+		if sunk[i].start.Before(sunk[i-1].start.Add(sunk[i-1].d)) {
+			t.Fatalf("sink intervals overlap: %+v", sunk)
+		}
+	}
+	if tm.Get("build") != sunk[0].d+sunk[2].d {
+		t.Fatalf("accumulated build %v != sunk sum %v", tm.Get("build"), sunk[0].d+sunk[2].d)
 	}
 }
 

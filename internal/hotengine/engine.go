@@ -35,6 +35,7 @@ package hotengine
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/abm"
 	"repro/internal/core"
@@ -43,7 +44,9 @@ import (
 	"repro/internal/grav"
 	"repro/internal/htab"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/msg"
+	"repro/internal/trace"
 	"repro/internal/tree"
 )
 
@@ -135,6 +138,17 @@ type Engine[X, B any] struct {
 	Rounds      int
 	RemoteCells int
 
+	// Trace, when non-nil, receives this rank's timeline: phase spans
+	// (via the Timer's sink -- set both through EnableTrace), ABM
+	// round spans, and a "stall" span per deferred group covering
+	// first deferral to walk completion. Nil means zero overhead.
+	Trace *trace.Tracer
+	// Stalls, when non-nil, receives one latency sample per deferred
+	// group: nanoseconds from the group's first deferral until its
+	// walk finally completes -- the paper's context-switch wait made
+	// measurable. Shared across ranks safely (atomic updates).
+	Stalls *metrics.Histogram
+
 	cellBytes int
 }
 
@@ -157,6 +171,27 @@ func New[X, B any](c *msg.Comm, sys *core.System, phys Physics[X, B], cfg Config
 
 // CellBytes returns the derived fixed wire size of one cell record.
 func (e *Engine[X, B]) CellBytes() int { return e.cellBytes }
+
+// EnableTrace attaches a per-rank tracer: the Timer's phases become
+// timeline spans and the walk emits ABM round and stall spans. Call
+// before the first Exchange.
+func (e *Engine[X, B]) EnableTrace(t *trace.Tracer) {
+	e.Trace = t
+	e.Timer.Sink = func(phase string, start time.Time, d time.Duration) {
+		t.SpanAt(phase, start, d)
+	}
+}
+
+// Report packages this rank's accumulated diagnostics as a RunReport
+// rank input (internal/metrics).
+func (e *Engine[X, B]) Report() metrics.RankInput {
+	return metrics.RankInput{
+		Counters:    e.Counters,
+		Timer:       e.Timer,
+		Rounds:      e.Rounds,
+		RemoteCells: e.RemoteCells,
+	}
+}
 
 // Exchange runs phases 1 and 2: decomposition, local tree build, and
 // the branch exchange that assembles the shared top tree. On return
@@ -381,10 +416,21 @@ func (e *Engine[X, B]) WalkGroups(label string, walk func(gk keys.Key, g *tree.C
 	e.Timer.Start(label)
 	e.C.Phase(e.Cfg.PhasePrefix + label)
 	eng := abm.New(e.C, KeyWireBytes(), e.cellBytes, e.serve)
+	eng.Trace = e.Trace
 
 	deferred := make([]keys.Key, len(e.Local.Groups))
 	copy(deferred, e.Local.Groups)
 	pending := map[keys.Key]bool{}
+
+	// Stall observation (off unless tracing or the histogram is
+	// attached): a group's stall runs from its first deferral to the
+	// walk that finally completes it, spanning however many rounds
+	// that takes.
+	observeStalls := e.Stalls != nil || e.Trace != nil
+	var deferredAt map[keys.Key]time.Time
+	if observeStalls {
+		deferredAt = make(map[keys.Key]time.Time)
+	}
 
 	for round := 0; ; round++ {
 		if round > e.Cfg.MaxRounds {
@@ -396,12 +442,25 @@ func (e *Engine[X, B]) WalkGroups(label string, walk func(gk keys.Key, g *tree.C
 			snapshot := e.Counters
 			missing := walk(gk, g, snapshot)
 			if missing == nil {
+				if observeStalls {
+					if t0, ok := deferredAt[gk]; ok {
+						d := time.Since(t0)
+						e.Stalls.Observe(uint64(d.Nanoseconds()))
+						e.Trace.SpanAt("stall", t0, d)
+						delete(deferredAt, gk)
+					}
+				}
 				continue
 			}
 			// Context switch: restore the counters, defer the group,
 			// batch its requests.
 			e.Counters = snapshot
 			e.Counters.Deferred++
+			if observeStalls {
+				if _, ok := deferredAt[gk]; !ok {
+					deferredAt[gk] = time.Now()
+				}
+			}
 			still = append(still, gk)
 			for _, mk := range missing {
 				if !pending[mk] {

@@ -1,0 +1,286 @@
+// Package metrics is the machine-readable side of the observability
+// layer: lock-free counters, gauges and HDR-style power-of-two
+// histograms behind a named Registry, plus the RunReport every
+// simulation command can emit (report.go). Where internal/trace
+// answers "when did each rank do what", this package answers "how
+// much, in total" -- and the two agree by construction because both
+// are fed from the same diag.Counters and msg traffic records.
+//
+// The flop accounting behind the rate metrics is the paper's
+// (internal/diag): a gravitational interaction is charged
+// diag.FlopsPerInteraction = 38 flops (Karp reciprocal square root
+// built from adds and multiplies), a quadrupole term adds
+// diag.FlopsPerQuadrupole = 70, a regularized Biot-Savart vortex
+// interaction costs diag.FlopsPerVortexInteract = 168, and an SPH
+// pair diag.FlopsPerSPHPair = 55. Every "flops" or "flops_rate"
+// metric in a RunReport is counted interactions pushed through those
+// constants, exactly as the paper derives 430 Gflops from interaction
+// counts and wall-clock time.
+//
+// All update paths are atomic, so engine goroutines and pool workers
+// may hammer one metric concurrently; all read paths are snapshots.
+// Every type tolerates a nil receiver on its update methods, so a
+// disabled registry costs one branch per update site.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter. Nil-safe no-op.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count. Nil-safe (0).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value. Nil-safe no-op.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value. Nil-safe (0).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is one bucket per possible bit length of a uint64
+// sample: bucket i holds values whose bits.Len64 is i, i.e. the
+// half-open range [2^(i-1), 2^i), with bucket 0 holding exact zeros.
+const histBuckets = 65
+
+// Histogram is an HDR-style latency histogram: power-of-two buckets,
+// exact count/sum/max, atomic updates. Resolution is a factor of two,
+// which is what latency percentiles need -- a stall of 1 ms vs 1.4 ms
+// is the same diagnosis, 1 ms vs 16 ms is not.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe records one sample. Nil-safe no-op.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples. Nil-safe (0).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1):
+// the top of the power-of-two bucket containing it, clamped to the
+// exact observed maximum. Nil-safe (0).
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			upper := uint64(math.MaxUint64)
+			if i < 64 {
+				upper = 1<<uint(i) - 1
+			}
+			if m := h.max.Load(); m < upper {
+				upper = m
+			}
+			return upper
+		}
+	}
+	return h.max.Load()
+}
+
+// HistogramSnapshot is the serializable summary of a Histogram.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Max   uint64 `json:"max"`
+	P50   uint64 `json:"p50"`
+	P90   uint64 `json:"p90"`
+	P99   uint64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Nil-safe (zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Registry is a named collection of metrics. Lookup creates on first
+// use; the returned pointers are stable, so hot paths resolve a
+// metric once and update it lock-free thereafter.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if new. Nil-safe: a
+// nil registry yields a nil Counter whose Add is a no-op.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if new. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if new. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Values returns every counter and gauge as one flat sorted-key map.
+// Nil-safe (nil).
+func (r *Registry) Values() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Snapshots returns every histogram's summary. Nil-safe (nil).
+func (r *Registry) Snapshots() map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Names returns the registry's metric names, sorted, for stable
+// rendering. Nil-safe (nil).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

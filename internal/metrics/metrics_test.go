@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := r.Histogram("z")
+	h.Observe(7)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram holds samples")
+	}
+	if r.Values() != nil || r.Snapshots() != nil || r.Names() != nil {
+		t.Fatal("nil registry yields data")
+	}
+	_ = h.Snapshot()
+}
+
+func TestRegistryStablePointers(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter pointer not stable")
+	}
+	r.Counter("a").Add(2)
+	r.Counter("a").Add(3)
+	r.Gauge("g").Set(1.5)
+	vals := r.Values()
+	if vals["a"] != 5 || vals["g"] != 1.5 {
+		t.Fatalf("values = %v", vals)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "g" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast samples, 9 medium, 1 slow: the classic stall shape.
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket [64,128)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10_000)
+	}
+	h.Observe(1_000_000)
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.50); p50 < 100 || p50 >= 128 {
+		t.Fatalf("p50 = %d, want in [100,128)", p50)
+	}
+	if p90 := h.Quantile(0.90); p90 < 100 || p90 >= 128 {
+		t.Fatalf("p90 = %d (90 of 100 samples are fast)", p90)
+	}
+	if p99 := h.Quantile(0.99); p99 < 10_000 || p99 >= 16_384 {
+		t.Fatalf("p99 = %d, want in [10000,16384)", p99)
+	}
+	s := h.Snapshot()
+	if s.Max != 1_000_000 || s.Sum != 90*100+9*10_000+1_000_000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// The quantile upper bound is clamped to the observed max.
+	if q := h.Quantile(1.0); q != 1_000_000 {
+		t.Fatalf("p100 = %d", q)
+	}
+}
+
+func TestHistogramZeroAndEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(0)
+	if h.Count() != 1 || h.Quantile(0.99) != 0 {
+		t.Fatal("zero sample mishandled")
+	}
+}
+
+// Concurrent updates must be race-free and lose nothing; run under
+// -race.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				h.Observe(uint64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d", c.Value(), h.Count())
+	}
+	if h.Snapshot().Max != 7999 {
+		t.Fatalf("max = %d", h.Snapshot().Max)
+	}
+}

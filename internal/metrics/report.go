@@ -1,0 +1,308 @@
+// RunReport: the one machine-readable artifact every simulation
+// command can emit (-metrics run.json). It is the paper's performance
+// tables as data -- interaction counts and the 38-flop accounting,
+// per-phase wall-clock with load-balance statistics across ranks, the
+// NxN communication matrix, request-round counts, and walk-stall
+// percentiles -- assembled from the same diag.Counters, diag.Timer
+// and msg traffic records the engines already keep, so the report
+// always agrees with the counters byte for byte. cmd/perfreport
+// renders one (or diffs two) as paper-style tables.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/diag"
+	"repro/internal/msg"
+)
+
+// ReportSchema versions the RunReport JSON layout.
+const ReportSchema = 1
+
+// Constants records the flop-accounting constants in force when the
+// report was written, next to the numbers they produced.
+type Constants struct {
+	FlopsPerInteraction    int `json:"flops_per_interaction"`
+	FlopsPerQuadrupole     int `json:"flops_per_quadrupole"`
+	FlopsPerVortexInteract int `json:"flops_per_vortex_interaction"`
+	FlopsPerSPHPair        int `json:"flops_per_sph_pair"`
+}
+
+// Totals is the run-wide summary.
+type Totals struct {
+	Counters     diag.Counters `json:"counters"`
+	Interactions uint64        `json:"interactions"`
+	Flops        uint64        `json:"flops"`
+	// FlopsRate is Flops over the host wall-clock, in flops/s.
+	FlopsRate float64 `json:"flops_rate"`
+	Msgs      uint64  `json:"msgs"`
+	Bytes     uint64  `json:"bytes"`
+}
+
+// RankReport is one rank's share.
+type RankReport struct {
+	Rank         int                        `json:"rank"`
+	Counters     diag.Counters              `json:"counters"`
+	Flops        uint64                     `json:"flops"`
+	PhaseSeconds map[string]float64         `json:"phase_seconds,omitempty"`
+	Traffic      map[string]msg.PhaseTraffic `json:"traffic,omitempty"`
+	SentMsgs     uint64                     `json:"sent_msgs"`
+	SentBytes    uint64                     `json:"sent_bytes"`
+	Rounds       int                        `json:"rounds"`
+	RemoteCells  int                        `json:"remote_cells"`
+}
+
+// PhaseBalance is the load-balance statistics of one phase's
+// wall-clock seconds across ranks.
+type PhaseBalance struct {
+	Phase string `json:"phase"`
+	diag.Balance
+}
+
+// RunReport is the emitted document.
+type RunReport struct {
+	Schema      int       `json:"schema"`
+	Command     string    `json:"command"`
+	NP          int       `json:"np"`
+	Bodies      int       `json:"bodies"`
+	WallSeconds float64   `json:"wall_seconds"`
+	Constants   Constants `json:"flop_constants"`
+	Totals      Totals    `json:"totals"`
+	Ranks       []RankReport `json:"ranks"`
+	Phases      []PhaseBalance `json:"phase_balance,omitempty"`
+	// CommMatrix*: row = sending rank, column = destination rank.
+	CommMatrixMsgs  [][]uint64                   `json:"comm_matrix_msgs,omitempty"`
+	CommMatrixBytes [][]uint64                   `json:"comm_matrix_bytes,omitempty"`
+	Metrics         map[string]float64           `json:"metrics,omitempty"`
+	Histograms      map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// StallHistogram is the registry name under which the engines record
+// deferred-group walk stalls, in nanoseconds from first deferral to
+// walk completion.
+const StallHistogram = "walk_stall_ns"
+
+// RankInput is what one rank's engine contributes to a report.
+type RankInput struct {
+	Counters    diag.Counters
+	Timer       *diag.Timer
+	Rounds      int
+	RemoteCells int
+}
+
+// BuildReport assembles a RunReport from per-rank engine state, the
+// message world's traffic records (nil for serial runs), and an
+// optional registry of extra metrics. wall is the host wall-clock of
+// the instrumented region in seconds.
+func BuildReport(command string, bodies int, wall float64, ranks []RankInput, w *msg.World, reg *Registry) *RunReport {
+	rep := &RunReport{
+		Schema:      ReportSchema,
+		Command:     command,
+		NP:          len(ranks),
+		Bodies:      bodies,
+		WallSeconds: wall,
+		Constants: Constants{
+			FlopsPerInteraction:    diag.FlopsPerInteraction,
+			FlopsPerQuadrupole:     diag.FlopsPerQuadrupole,
+			FlopsPerVortexInteract: diag.FlopsPerVortexInteract,
+			FlopsPerSPHPair:        diag.FlopsPerSPHPair,
+		},
+		Metrics:    reg.Values(),
+		Histograms: reg.Snapshots(),
+	}
+
+	phaseOrder := []string{}
+	phaseSeen := map[string]bool{}
+	for r, in := range ranks {
+		rr := RankReport{
+			Rank:        r,
+			Counters:    in.Counters,
+			Flops:       in.Counters.Flops(),
+			Rounds:      in.Rounds,
+			RemoteCells: in.RemoteCells,
+		}
+		if in.Timer != nil {
+			rr.PhaseSeconds = map[string]float64{}
+			for _, ph := range in.Timer.Phases() {
+				rr.PhaseSeconds[ph] = in.Timer.Get(ph).Seconds()
+				if !phaseSeen[ph] {
+					phaseSeen[ph] = true
+					phaseOrder = append(phaseOrder, ph)
+				}
+			}
+		}
+		if w != nil {
+			t := w.RankTraffic(r)
+			rr.Traffic = map[string]msg.PhaseTraffic{}
+			for ph, pt := range t.Phases {
+				rr.Traffic[ph] = *pt
+			}
+			tot := t.Total()
+			rr.SentMsgs, rr.SentBytes = tot.Msgs, tot.Bytes
+		}
+		rep.Totals.Counters.Add(in.Counters)
+		rep.Ranks = append(rep.Ranks, rr)
+	}
+	rep.Totals.Interactions = rep.Totals.Counters.Interactions()
+	rep.Totals.Flops = rep.Totals.Counters.Flops()
+	if wall > 0 {
+		rep.Totals.FlopsRate = float64(rep.Totals.Flops) / wall
+	}
+	if w != nil {
+		tot := w.TotalTraffic()
+		rep.Totals.Msgs, rep.Totals.Bytes = tot.Msgs, tot.Bytes
+		rep.CommMatrixMsgs, rep.CommMatrixBytes = w.CommMatrix()
+	}
+
+	for _, ph := range phaseOrder {
+		vals := make([]float64, 0, len(ranks))
+		for _, rr := range rep.Ranks {
+			vals = append(vals, rr.PhaseSeconds[ph])
+		}
+		rep.Phases = append(rep.Phases, PhaseBalance{Phase: ph, Balance: diag.BalanceOf(vals)})
+	}
+	return rep
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *RunReport) WriteFile(path string) error {
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// ReadReport loads a RunReport from a JSON file.
+func ReadReport(path string) (*RunReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Render writes the report as the paper-style tables: headline rate,
+// per-rank work and traffic, per-phase balance, the comm matrix, and
+// histogram percentiles.
+func (r *RunReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "RunReport: %s  np=%d  bodies=%d  wall=%.3fs\n",
+		r.Command, r.NP, r.Bodies, r.WallSeconds)
+	fmt.Fprintf(w, "interactions: %d (pp %d, pc %d, quad %d)\n",
+		r.Totals.Interactions, r.Totals.Counters.PP, r.Totals.Counters.PC, r.Totals.Counters.QuadPC)
+	fmt.Fprintf(w, "flops: %d at %d/interaction -> %s\n",
+		r.Totals.Flops, r.Constants.FlopsPerInteraction, diag.Rate(r.Totals.Flops, r.WallSeconds))
+	if r.Totals.Msgs > 0 {
+		fmt.Fprintf(w, "traffic: %d msgs, %.3f MB total\n", r.Totals.Msgs, float64(r.Totals.Bytes)/1e6)
+	}
+
+	fmt.Fprintf(w, "\nper-rank work:\n")
+	fmt.Fprintf(w, "  %4s %14s %16s %10s %12s %7s %8s\n",
+		"rank", "interactions", "flops", "sent msgs", "sent bytes", "rounds", "remote")
+	for _, rr := range r.Ranks {
+		fmt.Fprintf(w, "  %4d %14d %16d %10d %12d %7d %8d\n",
+			rr.Rank, rr.Counters.Interactions(), rr.Flops,
+			rr.SentMsgs, rr.SentBytes, rr.Rounds, rr.RemoteCells)
+	}
+
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(w, "\nphase balance (seconds across ranks; eff = mean/max):\n")
+		fmt.Fprintf(w, "  %-14s %10s %10s %10s %10s %6s\n", "phase", "min", "max", "mean", "median", "eff")
+		for _, pb := range r.Phases {
+			fmt.Fprintf(w, "  %-14s %10.4f %10.4f %10.4f %10.4f %6.2f\n",
+				pb.Phase, pb.Min, pb.Max, pb.Mean, pb.Median, pb.Efficiency)
+		}
+	}
+
+	if len(r.CommMatrixBytes) > 0 {
+		fmt.Fprintf(w, "\ncomm matrix (bytes; row = src rank, col = dst rank):\n      ")
+		for d := range r.CommMatrixBytes {
+			fmt.Fprintf(w, "%12s", fmt.Sprintf("->%d", d))
+		}
+		fmt.Fprintln(w)
+		for s, row := range r.CommMatrixBytes {
+			fmt.Fprintf(w, "  r%-3d", s)
+			for _, b := range row {
+				fmt.Fprintf(w, "%12d", b)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(r.Histograms) > 0 {
+		fmt.Fprintf(w, "\nhistograms:\n")
+		names := make([]string, 0, len(r.Histograms))
+		for n := range r.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := r.Histograms[n]
+			fmt.Fprintf(w, "  %-20s n=%d  p50=%d  p90=%d  p99=%d  max=%d\n",
+				n, h.Count, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+
+	if len(r.Metrics) > 0 {
+		fmt.Fprintf(w, "\nmetrics:\n")
+		names := make([]string, 0, len(r.Metrics))
+		for n := range r.Metrics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "  %-24s %g\n", n, r.Metrics[n])
+		}
+	}
+}
+
+// Diff compares two reports (old, new) and writes a delta table. It
+// returns true if the new report's flop rate regressed by more than
+// tol (fractionally) -- the simulation-level analogue of the
+// benchdump ns/op guardrail, so CI can gate on end-to-end throughput.
+func Diff(w io.Writer, base, cur *RunReport, tol float64) (regressed bool) {
+	fmt.Fprintf(w, "diff: %s (np=%d) -> %s (np=%d)\n", base.Command, base.NP, cur.Command, cur.NP)
+	rel := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		return b/a - 1
+	}
+	dRate := rel(base.Totals.FlopsRate, cur.Totals.FlopsRate)
+	status := "ok"
+	if base.Totals.FlopsRate > 0 && dRate < -tol {
+		status = fmt.Sprintf("REGRESSED (< -%0.f%%)", tol*100)
+		regressed = true
+	}
+	fmt.Fprintf(w, "  %-16s %14.3e -> %14.3e  %+6.1f%%  %s\n",
+		"flops_rate", base.Totals.FlopsRate, cur.Totals.FlopsRate, dRate*100, status)
+	fmt.Fprintf(w, "  %-16s %14d -> %14d  %+6.1f%%\n",
+		"interactions", base.Totals.Interactions, cur.Totals.Interactions,
+		rel(float64(base.Totals.Interactions), float64(cur.Totals.Interactions))*100)
+	fmt.Fprintf(w, "  %-16s %14d -> %14d  %+6.1f%%\n",
+		"bytes", base.Totals.Bytes, cur.Totals.Bytes,
+		rel(float64(base.Totals.Bytes), float64(cur.Totals.Bytes))*100)
+	fmt.Fprintf(w, "  %-16s %14.3f -> %14.3f  %+6.1f%%\n",
+		"wall_seconds", base.WallSeconds, cur.WallSeconds,
+		rel(base.WallSeconds, cur.WallSeconds)*100)
+
+	basePh := map[string]PhaseBalance{}
+	for _, pb := range base.Phases {
+		basePh[pb.Phase] = pb
+	}
+	for _, pb := range cur.Phases {
+		if o, ok := basePh[pb.Phase]; ok {
+			fmt.Fprintf(w, "  phase %-12s max %8.4fs -> %8.4fs  %+6.1f%%  (eff %.2f -> %.2f)\n",
+				pb.Phase, o.Max, pb.Max, rel(o.Max, pb.Max)*100, o.Efficiency, pb.Efficiency)
+		}
+	}
+	return regressed
+}

@@ -26,6 +26,8 @@ package msg
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // AnySource matches messages from any rank in Recv.
@@ -102,15 +104,19 @@ func (m *mailbox) tryTake(src, tag int) (Message, bool) {
 }
 
 // PhaseTraffic is the communication volume attributed to one phase.
+// The JSON tags are the RunReport wire names (internal/metrics).
 type PhaseTraffic struct {
-	Msgs  uint64
-	Bytes uint64
+	Msgs  uint64 `json:"msgs"`
+	Bytes uint64 `json:"bytes"`
 }
 
 // Traffic is the per-rank communication record, keyed by phase label.
 // Only the owning rank writes it during a run.
 type Traffic struct {
 	Phases map[string]*PhaseTraffic
+	// Dest is this rank's comm-matrix row: volume sent to each
+	// destination rank, summed over phases.
+	Dest []PhaseTraffic
 }
 
 func (t *Traffic) add(phase string, bytes int) {
@@ -139,6 +145,7 @@ type World struct {
 	size    int
 	boxes   []*mailbox
 	traffic []Traffic
+	trace   *trace.Run
 }
 
 // NewWorld creates a world of np ranks without running anything; used
@@ -150,9 +157,24 @@ func NewWorld(np int) *World {
 	w := &World{size: np, boxes: make([]*mailbox, np), traffic: make([]Traffic, np)}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
-		w.traffic[i] = Traffic{Phases: make(map[string]*PhaseTraffic)}
+		w.traffic[i] = Traffic{
+			Phases: make(map[string]*PhaseTraffic),
+			Dest:   make([]PhaseTraffic, np),
+		}
 	}
 	return w
+}
+
+// SetTrace attaches a trace.Run: every Send and Recv then also emits
+// a timestamped event on the acting rank's tracer. Must be called
+// before any communication; a nil run (or never calling this) keeps
+// the hot path free of tracing. The run must have one tracer per
+// rank.
+func (w *World) SetTrace(r *trace.Run) {
+	if r != nil && r.Size() != w.size {
+		panic(fmt.Sprintf("msg: trace run has %d ranks, world has %d", r.Size(), w.size))
+	}
+	w.trace = r
 }
 
 // Size returns the number of ranks.
@@ -171,6 +193,23 @@ func (w *World) TotalTraffic() PhaseTraffic {
 		sum.Bytes += t.Bytes
 	}
 	return sum
+}
+
+// CommMatrix returns the full NxN communication matrix: msgs[s][d]
+// and bytes[s][d] are the message count and byte volume rank s sent
+// to rank d. Only meaningful after the run completes.
+func (w *World) CommMatrix() (msgs, bytes [][]uint64) {
+	msgs = make([][]uint64, w.size)
+	bytes = make([][]uint64, w.size)
+	for s := range w.traffic {
+		msgs[s] = make([]uint64, w.size)
+		bytes[s] = make([]uint64, w.size)
+		for d, pt := range w.traffic[s].Dest {
+			msgs[s][d] = pt.Msgs
+			bytes[s][d] = pt.Bytes
+		}
+	}
+	return msgs, bytes
 }
 
 // MaxRankTraffic returns the largest per-rank totals (the network
@@ -235,19 +274,33 @@ func (c *Comm) send(dst, tag int, data any, bytes int) {
 	if dst < 0 || dst >= c.w.size {
 		panic(fmt.Sprintf("msg: send to rank %d out of range", dst))
 	}
-	c.w.traffic[c.rank].add(c.phase, bytes)
+	t := &c.w.traffic[c.rank]
+	t.add(c.phase, bytes)
+	t.Dest[dst].Msgs++
+	t.Dest[dst].Bytes += uint64(bytes)
+	if c.w.trace != nil {
+		c.w.trace.Rank(c.rank).Send(c.phase, dst, bytes)
+	}
 	c.w.boxes[dst].put(Message{Src: c.rank, Tag: tag, Data: data, Bytes: bytes})
 }
 
 // Recv blocks until a message matching (src, tag) arrives. Use
 // AnySource / AnyTag as wildcards.
 func (c *Comm) Recv(src, tag int) Message {
-	return c.w.boxes[c.rank].take(src, tag)
+	m := c.w.boxes[c.rank].take(src, tag)
+	if c.w.trace != nil {
+		c.w.trace.Rank(c.rank).Recv(c.phase, m.Src, m.Bytes)
+	}
+	return m
 }
 
 // TryRecv returns a matching message if one is already queued.
 func (c *Comm) TryRecv(src, tag int) (Message, bool) {
-	return c.w.boxes[c.rank].tryTake(src, tag)
+	m, ok := c.w.boxes[c.rank].tryTake(src, tag)
+	if ok && c.w.trace != nil {
+		c.w.trace.Rank(c.rank).Recv(c.phase, m.Src, m.Bytes)
+	}
+	return m, ok
 }
 
 // collective tags are negative and encode (sequence, op) so distinct
@@ -286,9 +339,19 @@ func (c *Comm) Barrier() {
 // the caller with the rank attached.
 func Run(np int, fn func(*Comm)) *World {
 	w := NewWorld(np)
+	w.Run(fn)
+	return w
+}
+
+// Run executes fn on every rank of this world, one goroutine per
+// rank, and returns when all complete. Callers that need tracing or
+// other pre-run configuration use NewWorld + SetTrace + Run instead
+// of the package-level Run. A panic on any rank is re-raised on the
+// caller with the rank attached.
+func (w *World) Run(fn func(*Comm)) {
 	var wg sync.WaitGroup
-	panics := make([]any, np)
-	for r := 0; r < np; r++ {
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -306,5 +369,4 @@ func Run(np int, fn func(*Comm)) *World {
 			panic(fmt.Sprintf("msg: rank %d panicked: %v", r, p))
 		}
 	}
-	return w
 }

@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/trace"
 )
 
 func TestSendRecvBasic(t *testing.T) {
@@ -239,6 +241,89 @@ func TestTrafficCounting(t *testing.T) {
 	if tot := w.RankTraffic(1).Total(); tot.Msgs != 0 {
 		t.Fatalf("rank 1 traffic = %+v", tot)
 	}
+}
+
+func TestCommMatrix(t *testing.T) {
+	w := Run(3, func(c *Comm) {
+		c.Phase("p")
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, nil, 10)
+			c.Send(2, 1, nil, 20)
+			c.Send(2, 1, nil, 30)
+		case 1:
+			c.Recv(0, 1)
+			c.Send(0, 2, nil, 5)
+		case 2:
+			c.Recv(0, 1)
+			c.Recv(0, 1)
+		}
+		if c.Rank() == 0 {
+			c.Recv(1, 2)
+		}
+	})
+	msgs, bytes := w.CommMatrix()
+	wantMsgs := [][]uint64{{0, 1, 2}, {1, 0, 0}, {0, 0, 0}}
+	wantBytes := [][]uint64{{0, 10, 50}, {5, 0, 0}, {0, 0, 0}}
+	for s := 0; s < 3; s++ {
+		for d := 0; d < 3; d++ {
+			if msgs[s][d] != wantMsgs[s][d] || bytes[s][d] != wantBytes[s][d] {
+				t.Fatalf("matrix[%d][%d] = (%d, %d), want (%d, %d)",
+					s, d, msgs[s][d], bytes[s][d], wantMsgs[s][d], wantBytes[s][d])
+			}
+		}
+		// Row sums agree with the per-rank totals.
+		var rm, rb uint64
+		for d := 0; d < 3; d++ {
+			rm, rb = rm+msgs[s][d], rb+bytes[s][d]
+		}
+		if tot := w.RankTraffic(s).Total(); rm != tot.Msgs || rb != tot.Bytes {
+			t.Fatalf("rank %d row sum (%d, %d) != total %+v", s, rm, rb, tot)
+		}
+	}
+}
+
+// With a trace attached, every send and receive (point-to-point and
+// collective) lands on the acting rank's timeline, and send byte
+// sums match the traffic record.
+func TestWorldTraceEvents(t *testing.T) {
+	tr := trace.NewRun(2)
+	w := NewWorld(2)
+	w.SetTrace(tr)
+	w.Run(func(c *Comm) {
+		c.Phase("p")
+		if c.Rank() == 0 {
+			c.Send(1, 1, nil, 64)
+		} else {
+			c.Recv(0, 1)
+		}
+		c.Barrier()
+	})
+	for r := 0; r < 2; r++ {
+		var sent, recvd uint64
+		for _, ev := range tr.Rank(r).Events() {
+			switch ev.Kind {
+			case trace.KindSend:
+				sent += uint64(ev.Bytes)
+			case trace.KindRecv:
+				recvd++
+			}
+		}
+		if sent != w.RankTraffic(r).Total().Bytes {
+			t.Fatalf("rank %d traced %d sent bytes, traffic says %d",
+				r, sent, w.RankTraffic(r).Total().Bytes)
+		}
+		if recvd == 0 {
+			t.Fatalf("rank %d traced no receives (barrier must show)", r)
+		}
+	}
+	// A mismatched trace size is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTrace with wrong size did not panic")
+		}
+	}()
+	NewWorld(3).SetTrace(tr)
 }
 
 // Property: Allreduce of random vectors matches serial sum for random

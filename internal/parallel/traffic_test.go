@@ -1,0 +1,223 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/grav"
+	"repro/internal/ic"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+// run4 executes evals force evaluations on a 4-rank world and returns
+// the world and engines. tr and stalls, when non-nil, instrument
+// every rank.
+func run4(t *testing.T, n, evals int, tr *trace.Run, stalls *metrics.Histogram) (*msg.World, []*Engine) {
+	t.Helper()
+	const np = 4
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-4, Quad: true}
+	engines := make([]*Engine, np)
+	w := msg.NewWorld(np)
+	w.SetTrace(tr)
+	var mu sync.Mutex
+	w.Run(func(c *msg.Comm) {
+		global := ic.Plummer(n, 1.0, 23)
+		local := core.New(0)
+		local.EnableDynamics()
+		lo, hi := c.Rank()*n/c.Size(), (c.Rank()+1)*n/c.Size()
+		for i := lo; i < hi; i++ {
+			local.AppendFrom(global, i)
+		}
+		e := New(c, local, Config{MAC: mac, Eps2: 1e-6})
+		if tr != nil {
+			e.EnableTrace(tr.Rank(c.Rank()))
+		}
+		e.Stalls = stalls
+		for k := 0; k < evals; k++ {
+			e.ComputeForces()
+		}
+		mu.Lock()
+		engines[c.Rank()] = e
+		mu.Unlock()
+	})
+	return w, engines
+}
+
+// The per-phase traffic attribution the machine models (and now the
+// RunReport) depend on: on a 4-rank run, every byte a rank sends is
+// attributed to exactly one phase, so the per-phase records sum to
+// the rank's total, and the comm-matrix row sums agree with both.
+func TestPhaseTrafficAttributionSumsToTotals(t *testing.T) {
+	w, engines := run4(t, 1500, 2, nil, nil)
+
+	matMsgs, matBytes := w.CommMatrix()
+	var worldMsgs, worldBytes uint64
+	for r := 0; r < 4; r++ {
+		tr := w.RankTraffic(r)
+		var phMsgs, phBytes uint64
+		for _, pt := range tr.Phases {
+			phMsgs += pt.Msgs
+			phBytes += pt.Bytes
+		}
+		tot := tr.Total()
+		if phMsgs != tot.Msgs || phBytes != tot.Bytes {
+			t.Fatalf("rank %d: phase sums (%d msgs, %d B) != totals (%d msgs, %d B)",
+				r, phMsgs, phBytes, tot.Msgs, tot.Bytes)
+		}
+		var rowMsgs, rowBytes uint64
+		for d := 0; d < 4; d++ {
+			rowMsgs += matMsgs[r][d]
+			rowBytes += matBytes[r][d]
+		}
+		if rowMsgs != tot.Msgs || rowBytes != tot.Bytes {
+			t.Fatalf("rank %d: comm-matrix row (%d msgs, %d B) != totals (%d msgs, %d B)",
+				r, rowMsgs, rowBytes, tot.Msgs, tot.Bytes)
+		}
+		worldMsgs += tot.Msgs
+		worldBytes += tot.Bytes
+
+		// The pipeline phases must carry the traffic: branch exchange
+		// always, and the walk phase whenever remote cells were
+		// fetched.
+		if tr.Phases["branches"] == nil || tr.Phases["branches"].Bytes == 0 {
+			t.Fatalf("rank %d: no bytes attributed to the branches phase", r)
+		}
+		if engines[r].RemoteCells > 0 {
+			if tr.Phases["walk"] == nil || tr.Phases["walk"].Bytes == 0 {
+				t.Fatalf("rank %d: %d remote cells but no walk-phase bytes",
+					r, engines[r].RemoteCells)
+			}
+		}
+	}
+	wt := w.TotalTraffic()
+	if wt.Msgs != worldMsgs || wt.Bytes != worldBytes {
+		t.Fatalf("world totals (%d, %d) != per-rank sums (%d, %d)",
+			wt.Msgs, wt.Bytes, worldMsgs, worldBytes)
+	}
+}
+
+// A RunReport is the counters and traffic records re-expressed: every
+// number must match the diag.Counters and msg totals exactly, and
+// instrumentation must not perturb the forces -- a traced run is
+// byte-identical to an untraced one.
+func TestRunReportMatchesCountersAndForcesUnchanged(t *testing.T) {
+	const n = 1500
+
+	// Untraced reference run.
+	_, ref := run4(t, n, 1, nil, nil)
+	refAcc := map[int64]vec.V3{}
+	for _, e := range ref {
+		for i := 0; i < e.Sys.Len(); i++ {
+			refAcc[e.Sys.ID[i]] = e.Sys.Acc[i]
+		}
+	}
+
+	// Fully instrumented run: tracing, stall histogram, registry.
+	reg := metrics.NewRegistry()
+	stalls := reg.Histogram(metrics.StallHistogram)
+	tr := trace.NewRun(4)
+	w, engines := run4(t, n, 1, tr, stalls)
+
+	seen := 0
+	for _, e := range engines {
+		for i := 0; i < e.Sys.Len(); i++ {
+			if e.Sys.Acc[i] != refAcc[e.Sys.ID[i]] {
+				t.Fatalf("tracing changed forces: body %d", e.Sys.ID[i])
+			}
+			seen++
+		}
+	}
+	if seen != n {
+		t.Fatalf("compared %d of %d bodies", seen, n)
+	}
+
+	inputs := make([]metrics.RankInput, len(engines))
+	var want diag.Counters
+	var deferredTotal uint64
+	for r, e := range engines {
+		inputs[r] = e.Report()
+		want.Add(e.Counters)
+		deferredTotal += e.Counters.Deferred
+	}
+	rep := metrics.BuildReport("test", n, 1.0, inputs, w, reg)
+
+	if rep.Totals.Counters != want {
+		t.Fatalf("report counters %+v != engine counters %+v", rep.Totals.Counters, want)
+	}
+	if rep.Totals.Interactions != want.Interactions() || rep.Totals.Flops != want.Flops() {
+		t.Fatal("report totals disagree with counter arithmetic")
+	}
+	wt := w.TotalTraffic()
+	if rep.Totals.Msgs != wt.Msgs || rep.Totals.Bytes != wt.Bytes {
+		t.Fatal("report traffic totals disagree with the world")
+	}
+	for r, rr := range rep.Ranks {
+		if rr.Counters != engines[r].Counters {
+			t.Fatalf("rank %d counters differ in report", r)
+		}
+		tot := w.RankTraffic(r).Total()
+		if rr.SentMsgs != tot.Msgs || rr.SentBytes != tot.Bytes {
+			t.Fatalf("rank %d traffic differs in report", r)
+		}
+	}
+
+	// Distributed 4-rank walks defer groups on remote data; the stall
+	// histogram must have seen them, bounded by the deferral counter.
+	if deferredTotal > 0 {
+		if stalls.Count() == 0 {
+			t.Fatal("groups were deferred but no stalls sampled")
+		}
+		if stalls.Count() > deferredTotal {
+			t.Fatalf("stall samples %d exceed deferrals %d", stalls.Count(), deferredTotal)
+		}
+		if rep.Histograms[metrics.StallHistogram].Count != stalls.Count() {
+			t.Fatal("report histogram snapshot disagrees")
+		}
+	}
+
+	// Phase balance covers the pipeline phases with sane statistics.
+	phases := map[string]metrics.PhaseBalance{}
+	for _, pb := range rep.Phases {
+		phases[pb.Phase] = pb
+	}
+	for _, ph := range []string{"decompose", "treebuild", "branches", "walk"} {
+		pb, ok := phases[ph]
+		if !ok {
+			t.Fatalf("phase %q missing from report balance", ph)
+		}
+		if pb.Max < pb.Min || pb.Efficiency <= 0 || pb.Efficiency > 1 {
+			t.Fatalf("phase %q balance insane: %+v", ph, pb)
+		}
+	}
+
+	// The trace saw phase spans on every rank and send events whose
+	// byte totals match the traffic record (ring large enough here).
+	for r := 0; r < 4; r++ {
+		var sentBytes uint64
+		spans := map[string]bool{}
+		for _, ev := range tr.Rank(r).Events() {
+			switch ev.Kind {
+			case trace.KindSpan:
+				spans[ev.Name] = true
+			case trace.KindSend:
+				sentBytes += uint64(ev.Bytes)
+			}
+		}
+		if tr.Rank(r).Dropped() > 0 {
+			t.Fatalf("rank %d trace ring overflowed in a small run", r)
+		}
+		for _, ph := range []string{"decompose", "treebuild", "branches", "walk"} {
+			if !spans[ph] {
+				t.Fatalf("rank %d trace missing %q span", r, ph)
+			}
+		}
+		if got := w.RankTraffic(r).Total().Bytes; sentBytes != got {
+			t.Fatalf("rank %d trace send bytes %d != traffic record %d", r, sentBytes, got)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/keys"
+	"repro/internal/trace"
 )
 
 // groupBatch is how many groups a pool worker claims per grab: large
@@ -33,7 +34,14 @@ type ForcePool struct {
 	walkers []*Walker
 	start   []chan struct{}
 	done    chan struct{}
+	trace   *trace.Tracer
 }
+
+// SetTrace attaches a tracer: each Gravity call then emits one busy
+// span per worker on the tracer's sub-tracks, exposing tail workers
+// and queue imbalance. Set it between evaluations only (same
+// single-owner contract as Gravity itself); nil disables.
+func (p *ForcePool) SetTrace(t *trace.Tracer) { p.trace = t }
 
 // NewForcePool starts a pool of workers (<= 0 means GOMAXPROCS).
 func NewForcePool(workers int) *ForcePool {
@@ -62,6 +70,7 @@ func (p *ForcePool) worker(i int) {
 	ctr := &p.ctrs[i]
 	for range p.start[i] {
 		t := p.tr
+		t0 := p.trace.Now()
 		n := int64(len(t.Groups))
 		for {
 			hi := p.next.Add(groupBatch)
@@ -74,6 +83,7 @@ func (p *ForcePool) worker(i int) {
 			}
 			t.gravityGroups(w, ctr, int(lo), int(hi), p.eps2)
 		}
+		p.trace.WorkerSpan(i, "gravity", t0)
 		p.done <- struct{}{}
 	}
 }

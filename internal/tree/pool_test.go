@@ -1,0 +1,56 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/grav"
+	"repro/internal/trace"
+)
+
+// With a tracer attached, every Gravity call emits one busy span per
+// worker on the rank's sub-tracks, and the evaluation itself stays
+// identical to the untraced pool.
+func TestForcePoolTraceEmitsWorkerSpans(t *testing.T) {
+	sys, d := cloud(2000, 31)
+	tr := Build(sys, d, grav.DefaultMAC(), 16)
+
+	p := NewForcePool(4)
+	defer p.Close()
+	plain := p.Gravity(tr, 1e-6)
+	accPlain := append(sys.Acc[:0:0], sys.Acc...)
+
+	run := trace.NewRun(1)
+	p.SetTrace(run.Rank(0))
+	traced := p.Gravity(tr, 1e-6)
+	if traced != plain {
+		t.Fatalf("tracing changed counters: %+v vs %+v", traced, plain)
+	}
+	for i := range accPlain {
+		if sys.Acc[i] != accPlain[i] {
+			t.Fatalf("tracing changed forces at body %d", i)
+		}
+	}
+
+	workers := map[int]int{}
+	for _, ev := range run.Rank(0).Events() {
+		if ev.Kind != trace.KindSpan || ev.Name != "gravity" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		workers[ev.TID]++
+	}
+	if len(workers) != 4 {
+		t.Fatalf("spans on %d sub-tracks, want 4 workers", len(workers))
+	}
+	for tid, n := range workers {
+		if tid < 1 || tid > 4 || n != 1 {
+			t.Fatalf("worker sub-track %d has %d spans", tid, n)
+		}
+	}
+
+	// Detaching stops emission.
+	p.SetTrace(nil)
+	p.Gravity(tr, 1e-6)
+	if got := len(run.Rank(0).Events()); got != 4 {
+		t.Fatalf("events after detach: %d", got)
+	}
+}

@@ -12,6 +12,8 @@ echo "== go vet"
 go vet ./...
 echo "== go test -race"
 go test -race ./...
+echo "== go test -race -count=1 (concurrency-heavy packages, uncached)"
+go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./internal/msg
 echo "== benchcmp (Ablation_Batched vs BENCH_baseline.json, tol 15%)"
 go test -run='^$' -bench=Ablation_Batched -benchtime=1x . |
 	go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_Batched' -tol 0.15
