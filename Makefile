@@ -9,9 +9,14 @@ check:
 # treebench run supplies the RunReport whose flop-rate context is
 # embedded alongside the numbers ("sim" field), so the baseline records
 # what the machine achieved end to end when it was cut.
+# The construction-pipeline benches (Sort/Build/Decompose) finish in
+# tens of milliseconds, so they run 5 iterations for a stable number;
+# the second-scale benches stay at one.
 bench-baseline:
 	go run ./cmd/treebench -n 50000 -procs 4 -steps 1 -metrics /tmp/treebench_report.json >/dev/null
-	go test -run='^$$' -bench=Ablation -benchtime=1x . | go run ./cmd/benchdump -runreport /tmp/treebench_report.json -o BENCH_baseline.json
+	{ go test -run='^$$' -bench='Ablation_(MAC|Order|Group|Batched|Hash|Rsqrt|Curve|ABM)' -benchtime=1x . ; \
+	  go test -run='^$$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x . ; } \
+	  | go run ./cmd/benchdump -runreport /tmp/treebench_report.json -o BENCH_baseline.json
 
 # Opt-in end-to-end guardrail on the achieved flop rate: cut a sim
 # baseline once on a quiet machine, then simcmp fails (exit 1) if the
@@ -29,6 +34,8 @@ simcmp:
 # Run just the benchmark guardrail: ablation benches at one iteration,
 # diffed against the committed baseline (fails on >15% regression).
 benchcmp:
-	go test -run='^$$' -bench=Ablation_Batched -benchtime=1x . | go run ./cmd/benchdump -compare BENCH_baseline.json -match Ablation_Batched -tol 0.15
+	{ go test -run='^$$' -bench=Ablation_Batched -benchtime=1x . ; \
+	  go test -run='^$$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x . ; } \
+	  | go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_(Batched|Sort|Build|Decompose)' -tol 0.15
 
 .PHONY: benchcmp

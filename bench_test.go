@@ -13,11 +13,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/domain"
 	"repro/internal/experiments"
 	"repro/internal/grav"
 	"repro/internal/htab"
 	"repro/internal/ic"
 	"repro/internal/keys"
+	"repro/internal/msg"
 	"repro/internal/npb"
 	"repro/internal/perfmodel"
 	"repro/internal/rsqrt"
@@ -263,6 +265,100 @@ func BenchmarkAblation_BatchedConcurrentAllocs(b *testing.B) {
 		pool.Gravity(tr, 1e-6)
 	}
 }
+
+// --- tree-construction pipeline ------------------------------------------
+//
+// The construction guardrails: the radix sort must beat the
+// comparison sort on 100k bodies, and the fan-out build and
+// incremental decomposition are tracked against their serial/cold
+// ablations. Note the worker-fanned variants can only pull ahead of
+// their serial twins when GOMAXPROCS > 1; on a single-CPU host they
+// measure the (small) coordination overhead instead.
+
+// sortBenchSystems returns a pristine unsorted keyed system and a
+// same-shape scratch the benchmark restores into each iteration.
+func sortBenchSystems(n int) (*core.System, *core.System) {
+	base := ic.Plummer(n, 1.0, 11)
+	d := keys.NewDomain(base.Pos)
+	base.AssignKeys(d)
+	work := core.New(0)
+	work.EnableDynamics()
+	for i := 0; i < n; i++ {
+		work.AppendFrom(base, i)
+	}
+	return base, work
+}
+
+func restoreSystem(dst, src *core.System) {
+	copy(dst.Pos, src.Pos)
+	copy(dst.Mass, src.Mass)
+	copy(dst.Key, src.Key)
+	copy(dst.Work, src.Work)
+	copy(dst.ID, src.ID)
+	copy(dst.Vel, src.Vel)
+	copy(dst.Acc, src.Acc)
+	copy(dst.Pot, src.Pot)
+}
+
+func benchSort(b *testing.B, std bool) {
+	base, work := sortBenchSystems(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		restoreSystem(work, base)
+		b.StartTimer()
+		if std {
+			work.SortByKeyStd()
+		} else {
+			work.SortByKey()
+		}
+	}
+}
+
+func BenchmarkAblation_SortRadix(b *testing.B) { benchSort(b, false) }
+func BenchmarkAblation_SortStd(b *testing.B)   { benchSort(b, true) }
+
+func benchBuild(b *testing.B, workers int) {
+	sys, d := buildCluster(100000)
+	builder := tree.NewBuilder(workers)
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-3, Quad: true}
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		cells = builder.BuildRange(sys, d, mac, 16, 0, tree.EndOffset).NCells()
+	}
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
+func BenchmarkAblation_BuildSerial(b *testing.B)   { benchBuild(b, 1) }
+func BenchmarkAblation_BuildParallel(b *testing.B) { benchBuild(b, 4) }
+
+// benchDecompose runs a 4-rank decomposition trajectory: one cold
+// solve, then steady-state steps -- incremental (resort repair plus
+// warm bisection) against the cold re-solve.
+func benchDecompose(b *testing.B, cold bool) {
+	const n, steps = 20000, 4
+	global := ic.Plummer(n, 1.0, 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.Run(4, func(c *msg.Comm) {
+			local := core.New(0)
+			local.EnableDynamics()
+			lo, hi := c.Rank()*n/4, (c.Rank()+1)*n/4
+			for j := lo; j < hi; j++ {
+				local.AppendFrom(global, j)
+			}
+			dec := &domain.Decomposer{Cold: cold}
+			for s := 0; s < steps; s++ {
+				d := domain.GlobalDomain(c, local)
+				local = dec.Decompose(c, local, d).Sys
+			}
+		})
+	}
+}
+
+func BenchmarkAblation_DecomposeIncremental(b *testing.B) { benchDecompose(b, false) }
+func BenchmarkAblation_DecomposeCold(b *testing.B)        { benchDecompose(b, true) }
 
 // GroupSphere runs once per group per evaluation (it gates every MAC
 // test), so its scalar rewrite is tracked alongside the kernels.

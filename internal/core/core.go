@@ -11,7 +11,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/keys"
 	"repro/internal/vec"
@@ -134,11 +133,8 @@ func (s *System) AssignHilbertKeys(d keys.Domain) {
 	}
 }
 
-// SortByKey sorts the bodies in ascending key order.
-func (s *System) SortByKey() {
-	sort.Sort(byKey{s})
-}
-
+// byKey adapts a System to package sort for SortByKeyStd (see
+// sort.go; SortByKey itself is the radix path).
 type byKey struct{ s *System }
 
 func (b byKey) Len() int           { return b.s.Len() }

@@ -12,12 +12,20 @@
 // offsets (a binary search in its sorted local array), an allreduce
 // sums them, and the probes halve. 63 rounds pin the splitters
 // exactly; bodies then move with a single all-to-all exchange.
+//
+// The paper's other observation is that the decomposition changes
+// slowly between timesteps, so a persistent Decomposer works
+// incrementally: the local order is repaired (core.Sorter.Resort)
+// instead of re-sorted, the bisection brackets start from a window
+// around the previous step's splitters (falling back to the full
+// interval when the window no longer brackets the target, so the
+// splits are byte-identical to a cold solve either way), and the
+// prefix/probe/send scratch is reused across calls.
 package domain
 
 import (
-	"sort"
-
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/keys"
 	"repro/internal/msg"
 	"repro/internal/tree"
@@ -46,81 +54,124 @@ type Result struct {
 	Moved int
 }
 
+// warmWindow is the half-width, in key offsets, of the bracket a warm
+// bisection starts from around the previous step's splitters. 2^40 is
+// 2^-23 of the curve: generous against per-step drift, yet it cuts
+// the bisection from 63 allreduce rounds to about 41.
+const warmWindow = uint64(1) << 40
+
+// Stats describes the most recent Decompose call of a Decomposer.
+type Stats struct {
+	// Displaced is the number of out-of-order bodies the pre-exchange
+	// repair extracted; equal to the body count when it fell back to a
+	// full sort.
+	Displaced int
+	// FullSort reports that fallback.
+	FullSort bool
+	// Rounds is the number of bisection allreduce rounds.
+	Rounds int
+	// WarmSplitters is how many of the P-1 splitters accepted the
+	// warm-start bracket (0 on a cold solve).
+	WarmSplitters int
+	// MergeRuns is the number of non-empty sorted runs the
+	// post-exchange merge combined (1 means the order was free).
+	MergeRuns int
+}
+
+// Decomposer carries the cross-step state of the incremental
+// decomposition: the sorter scratch, the previous splits, and every
+// reusable buffer. One Decomposer per rank; the zero value is a cold
+// decomposer. The one-shot Decompose function wraps it.
+type Decomposer struct {
+	// Workers caps the sort fan-out (core.Sorter.Workers).
+	Workers int
+	// Cold disables every cross-step shortcut: full sort, full-range
+	// bisection. The results are byte-identical either way; Cold
+	// exists for ablations and paranoia.
+	Cold bool
+	// Sub, when non-nil, accumulates the sorting share of the
+	// construction pipeline under the phase "treebuild/sort".
+	Sub *diag.Timer
+	// Last describes the most recent call.
+	Last Stats
+
+	sorter core.Sorter
+	prev   []uint64
+
+	pw     []float64
+	lo, hi []uint64
+	tgt    []float64
+	probes []float64
+	warm   []float64
+	send   [][]Wire
+	perm   []int32
+	heads  []int
+}
+
 // Decompose redistributes bodies so every rank owns a contiguous
 // Morton interval of roughly equal total Work. The input system is
-// consumed (sorted in place and then repacked).
-func Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Result {
+// consumed (sorted in place and then repacked). Order contract: the
+// returned system is sorted by (Key, ID), exactly as core.Sorter
+// produces, regardless of which incremental shortcuts engaged.
+func (dc *Decomposer) Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Result {
 	c.Phase("decompose")
+	dc.Last = Stats{}
+	dc.sorter.Workers = dc.Workers
+
+	if dc.Sub != nil {
+		dc.Sub.Start("treebuild/sort")
+	}
 	sys.AssignKeys(d)
-	sys.SortByKey()
+	if dc.Cold {
+		dc.sorter.Sort(sys)
+		dc.Last.Displaced = sys.Len()
+		dc.Last.FullSort = true
+	} else {
+		n := sys.Len()
+		dc.Last.Displaced = dc.sorter.Resort(sys)
+		dc.Last.FullSort = dc.Last.Displaced == n && n > 0
+	}
+	if dc.Sub != nil {
+		dc.Sub.Stop()
+	}
+
 	n := sys.Len()
 	p := c.Size()
 
 	// Local prefix work sums: pw[i] = work of bodies [0, i).
-	pw := make([]float64, n+1)
+	if cap(dc.pw) < n+1 {
+		dc.pw = make([]float64, n+1)
+	}
+	pw := dc.pw[:n+1]
+	pw[0] = 0
 	for i := 0; i < n; i++ {
 		pw[i+1] = pw[i] + sys.Work[i]
 	}
-	workBelow := func(off uint64) float64 {
-		idx := sort.Search(n, func(i int) bool {
-			return tree.KeyOffset(sys.Key[i]) >= off
-		})
-		return pw[idx]
-	}
 
 	total := msg.Allreduce(c, pw[n], msg.SumF64, 8)
-
-	// Bisection for the P-1 interior splitters, all probed per round.
-	lo := make([]uint64, p-1)
-	hi := make([]uint64, p-1)
-	tgt := make([]float64, p-1)
-	for s := range lo {
-		lo[s] = 0
-		hi[s] = tree.EndOffset
-		tgt[s] = total * float64(s+1) / float64(p)
-	}
-	probes := make([]float64, p-1)
-	for round := 0; round < 64; round++ {
-		done := true
-		for s := range lo {
-			if hi[s]-lo[s] > 1 {
-				done = false
-			}
-			probes[s] = workBelow((lo[s] + hi[s]) / 2)
-		}
-		if done {
-			break
-		}
-		sums := msg.Allreduce(c, append([]float64(nil), probes...), sumVec, 8*(p-1))
-		for s := range lo {
-			mid := (lo[s] + hi[s]) / 2
-			if sums[s] >= tgt[s] {
-				hi[s] = mid
-			} else {
-				lo[s] = mid
-			}
-		}
-	}
-
-	splits := make([]uint64, p+1)
-	splits[p] = tree.EndOffset
-	for s := range hi {
-		splits[s+1] = hi[s]
-	}
+	splits := dc.bisect(c, sys, pw, total, p)
 
 	// Pack send buffers: bodies are sorted, so each destination's
-	// bodies form one contiguous run.
-	send := make([][]Wire, p)
+	// bodies form one contiguous run and a single linear sweep finds
+	// every boundary. The buffers are reused across calls: the next
+	// call's collectives cannot be reached by any rank before this
+	// call's receivers are done reading, so overwriting is safe.
+	if len(dc.send) < p {
+		dc.send = make([][]Wire, p)
+	}
+	send := dc.send[:p]
 	moved := 0
 	start := 0
 	for r := 0; r < p; r++ {
-		end := start + sort.Search(n-start, func(i int) bool {
-			return tree.KeyOffset(sys.Key[start+i]) >= splits[r+1]
-		})
+		limit := splits[r+1]
+		end := start
+		for end < n && tree.KeyOffset(sys.Key[end]) < limit {
+			end++
+		}
 		if r != c.Rank() {
 			moved += end - start
 		}
-		buf := make([]Wire, 0, end-start)
+		buf := send[r][:0]
 		for i := start; i < end; i++ {
 			w := Wire{Pos: sys.Pos[i], Mass: sys.Mass[i], Work: sys.Work[i], ID: sys.ID[i]}
 			if sys.Vel != nil {
@@ -180,9 +231,183 @@ func Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Result {
 			i++
 		}
 	}
+
+	if dc.Sub != nil {
+		dc.Sub.Start("treebuild/sort")
+	}
 	out.AssignKeys(d)
-	out.SortByKey()
+	// The received buffers are P (Key, ID)-sorted runs over this
+	// rank's new interval; merging them by run boundary is the full
+	// stable sort without sorting anything.
+	dc.mergeRuns(out, recv)
+	if dc.Sub != nil {
+		dc.Sub.Stop()
+	}
+
+	dc.prev = append(dc.prev[:0], splits...)
 	return Result{Sys: out, Splits: splits, Moved: moved}
+}
+
+// bisect finds the P-1 interior splitters. A warm bracket from the
+// previous call is validated with one extra allreduce round; every
+// splitter whose bracket no longer contains its work target falls
+// back to the full interval, so the fixed point -- the smallest
+// offset whose cumulative work reaches the target -- is identical to
+// a cold solve.
+func (dc *Decomposer) bisect(c *msg.Comm, sys *core.System, pw []float64, total float64, p int) []uint64 {
+	if cap(dc.lo) < p-1 {
+		dc.lo = make([]uint64, p-1)
+		dc.hi = make([]uint64, p-1)
+		dc.tgt = make([]float64, p-1)
+		dc.probes = make([]float64, p-1)
+		dc.warm = make([]float64, 2*(p-1))
+	}
+	lo, hi := dc.lo[:p-1], dc.hi[:p-1]
+	tgt, probes := dc.tgt[:p-1], dc.probes[:p-1]
+	workBelow := func(off uint64) float64 {
+		return pw[searchOffset(sys.Key, off)]
+	}
+	for s := range lo {
+		lo[s] = 0
+		hi[s] = tree.EndOffset
+		tgt[s] = total * float64(s+1) / float64(p)
+	}
+
+	if !dc.Cold && len(dc.prev) == p+1 && p > 1 {
+		warm := dc.warm[:2*(p-1)]
+		for s := range lo {
+			wlo, whi := warmBracket(dc.prev[s+1])
+			warm[2*s] = workBelow(wlo)
+			warm[2*s+1] = workBelow(whi)
+		}
+		sums := msg.Allreduce(c, append([]float64(nil), warm...), sumVec, 8*len(warm))
+		dc.Last.Rounds++
+		for s := range lo {
+			wlo, whi := warmBracket(dc.prev[s+1])
+			if sums[2*s] < tgt[s] && sums[2*s+1] >= tgt[s] {
+				lo[s], hi[s] = wlo, whi
+				dc.Last.WarmSplitters++
+			}
+		}
+	}
+
+	for round := 0; round < 64; round++ {
+		done := true
+		for s := range lo {
+			if hi[s]-lo[s] > 1 {
+				done = false
+			}
+			probes[s] = workBelow((lo[s] + hi[s]) / 2)
+		}
+		if done {
+			break
+		}
+		sums := msg.Allreduce(c, append([]float64(nil), probes...), sumVec, 8*(p-1))
+		dc.Last.Rounds++
+		for s := range lo {
+			mid := (lo[s] + hi[s]) / 2
+			if sums[s] >= tgt[s] {
+				hi[s] = mid
+			} else {
+				lo[s] = mid
+			}
+		}
+	}
+
+	splits := make([]uint64, p+1)
+	splits[p] = tree.EndOffset
+	for s := range hi {
+		splits[s+1] = hi[s]
+	}
+	return splits
+}
+
+// warmBracket clamps [prev-warmWindow, prev+warmWindow] to the curve.
+func warmBracket(prev uint64) (lo, hi uint64) {
+	lo = 0
+	if prev > warmWindow {
+		lo = prev - warmWindow
+	}
+	hi = prev + warmWindow
+	if hi > tree.EndOffset {
+		hi = tree.EndOffset
+	}
+	return lo, hi
+}
+
+// mergeRuns restores (Key, ID) order over the freshly unpacked
+// bodies. recv holds the exchange's receive buffers in source-rank
+// order; their concatenation is out, so each buffer is one sorted run
+// and a P-way merge over the run boundaries reproduces the full
+// stable sort exactly.
+func (dc *Decomposer) mergeRuns(out *core.System, recv [][]Wire) {
+	n := out.Len()
+	if n < 2 {
+		return
+	}
+	dc.heads = dc.heads[:0]
+	runs := 0
+	off := 0
+	for _, b := range recv {
+		dc.heads = append(dc.heads, off)
+		off += len(b)
+		dc.heads = append(dc.heads, off)
+		if len(b) > 0 {
+			runs++
+		}
+	}
+	dc.Last.MergeRuns = runs
+	if runs <= 1 {
+		return // zero or one run: already sorted
+	}
+	if cap(dc.perm) < n {
+		dc.perm = make([]int32, n)
+	}
+	perm := dc.perm[:n]
+	for k := 0; k < n; k++ {
+		best, bestIdx := -1, -1
+		for r := 0; r < len(dc.heads); r += 2 {
+			h := dc.heads[r]
+			if h >= dc.heads[r+1] {
+				continue
+			}
+			if best < 0 || lessByKeyID(out, h, bestIdx) {
+				best, bestIdx = r, h
+			}
+		}
+		perm[k] = int32(bestIdx)
+		dc.heads[best]++
+	}
+	dc.sorter.Workers = dc.Workers
+	dc.sorter.Apply(out, perm)
+}
+
+// lessByKeyID orders bodies i, j of s by (Key, ID).
+func lessByKeyID(s *core.System, i, j int) bool {
+	if s.Key[i] != s.Key[j] {
+		return s.Key[i] < s.Key[j]
+	}
+	return s.ID[i] < s.ID[j]
+}
+
+// searchOffset returns the first index whose key offset is >= off.
+func searchOffset(ks []keys.Key, off uint64) int {
+	lo, hi := 0, len(ks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tree.KeyOffset(ks[mid]) < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Decompose is the one-shot entry point: a fresh (cold) Decomposer
+// per call, byte-identical to the historical function.
+func Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Result {
+	return new(Decomposer).Decompose(c, sys, d)
 }
 
 func sumVec(a, b []float64) []float64 {

@@ -100,6 +100,16 @@ type Config struct {
 	// keeps the vortex engine's historical "vtreebuild"/"vwalk"
 	// accounting separate from gravity's).
 	PhasePrefix string
+	// BuildWorkers caps the goroutines of the construction pipeline
+	// (radix sort and fan-out tree build). 0 means automatic
+	// (GOMAXPROCS, capped); 1 forces the serial paths. Results are
+	// byte-identical for any value.
+	BuildWorkers int
+	// ColdStart disables the incremental decomposition shortcuts
+	// (resort repair, warm-started splitter bisection), re-solving
+	// from scratch every Exchange. Splits and body order are
+	// byte-identical either way; this exists for ablations.
+	ColdStart bool
 }
 
 // sentinelUnfetched marks a remote leaf whose bodies have not arrived.
@@ -133,6 +143,13 @@ type Engine[X, B any] struct {
 	// Timer accumulates per-phase wall time across evaluations
 	// (decompose, treebuild, branches, then one phase per walk).
 	Timer *diag.Timer
+	// Sub accumulates the tree-construction sub-breakdown across
+	// evaluations: "treebuild/sort" (key sort and order repair, both
+	// sides of the exchange), "treebuild/build" (partitioning and
+	// subtree builds) and "treebuild/insert" (hash insertion and spine
+	// assembly). Spans nest inside the Timer's decompose/treebuild
+	// phases.
+	Sub *diag.Timer
 	// Rounds is the number of request/reply rounds since the last
 	// Exchange; RemoteCells the cells imported.
 	Rounds      int
@@ -149,6 +166,12 @@ type Engine[X, B any] struct {
 	// measurable. Shared across ranks safely (atomic updates).
 	Stalls *metrics.Histogram
 
+	// dec and builder carry the construction pipeline's cross-step
+	// state: sorter scratch, previous splits (warm bisection), cell
+	// buffers.
+	dec     domain.Decomposer
+	builder tree.Builder
+
 	cellBytes int
 }
 
@@ -162,11 +185,18 @@ func New[X, B any](c *msg.Comm, sys *core.System, phys Physics[X, B], cfg Config
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 64
 	}
-	return &Engine[X, B]{
+	e := &Engine[X, B]{
 		C: c, Cfg: cfg, Phys: phys, Sys: sys,
 		Timer:     diag.NewTimer(),
+		Sub:       diag.NewTimer(),
 		cellBytes: CellWireBytes[X, B](),
 	}
+	e.dec.Workers = cfg.BuildWorkers
+	e.dec.Cold = cfg.ColdStart
+	e.dec.Sub = e.Sub
+	e.builder.Workers = cfg.BuildWorkers
+	e.builder.Sub = e.Sub
+	return e
 }
 
 // CellBytes returns the derived fixed wire size of one cell record.
@@ -180,6 +210,7 @@ func (e *Engine[X, B]) EnableTrace(t *trace.Tracer) {
 	e.Timer.Sink = func(phase string, start time.Time, d time.Duration) {
 		t.SpanAt(phase, start, d)
 	}
+	e.Sub.Sink = e.Timer.Sink
 }
 
 // Report packages this rank's accumulated diagnostics as a RunReport
@@ -188,6 +219,7 @@ func (e *Engine[X, B]) Report() metrics.RankInput {
 	return metrics.RankInput{
 		Counters:    e.Counters,
 		Timer:       e.Timer,
+		Sub:         e.Sub,
 		Rounds:      e.Rounds,
 		RemoteCells: e.RemoteCells,
 	}
@@ -200,7 +232,7 @@ func (e *Engine[X, B]) Report() metrics.RankInput {
 func (e *Engine[X, B]) Exchange() {
 	e.Timer.Start("decompose")
 	e.Domain = domain.GlobalDomain(e.C, e.Sys)
-	res := domain.Decompose(e.C, e.Sys, e.Domain)
+	res := e.dec.Decompose(e.C, e.Sys, e.Domain)
 	e.Sys = res.Sys
 	e.Splits = res.Splits
 	e.Phys.Prepare(e.Sys)
@@ -209,7 +241,7 @@ func (e *Engine[X, B]) Exchange() {
 	// interval so every branch cell materializes as a node.
 	e.Timer.Start("treebuild")
 	e.C.Phase(e.Cfg.PhasePrefix + "treebuild")
-	e.Local = tree.BuildRange(e.Sys, e.Domain, e.Cfg.MAC, e.Cfg.Bucket,
+	e.Local = e.builder.BuildRange(e.Sys, e.Domain, e.Cfg.MAC, e.Cfg.Bucket,
 		e.Splits[e.C.Rank()], e.Splits[e.C.Rank()+1])
 	e.Counters.CellsBuilt += uint64(e.Local.NCells())
 	e.Phys.PostBuild(e.Local)

@@ -45,15 +45,15 @@ type Totals struct {
 
 // RankReport is one rank's share.
 type RankReport struct {
-	Rank         int                        `json:"rank"`
-	Counters     diag.Counters              `json:"counters"`
-	Flops        uint64                     `json:"flops"`
-	PhaseSeconds map[string]float64         `json:"phase_seconds,omitempty"`
+	Rank         int                         `json:"rank"`
+	Counters     diag.Counters               `json:"counters"`
+	Flops        uint64                      `json:"flops"`
+	PhaseSeconds map[string]float64          `json:"phase_seconds,omitempty"`
 	Traffic      map[string]msg.PhaseTraffic `json:"traffic,omitempty"`
-	SentMsgs     uint64                     `json:"sent_msgs"`
-	SentBytes    uint64                     `json:"sent_bytes"`
-	Rounds       int                        `json:"rounds"`
-	RemoteCells  int                        `json:"remote_cells"`
+	SentMsgs     uint64                      `json:"sent_msgs"`
+	SentBytes    uint64                      `json:"sent_bytes"`
+	Rounds       int                         `json:"rounds"`
+	RemoteCells  int                         `json:"remote_cells"`
 }
 
 // PhaseBalance is the load-balance statistics of one phase's
@@ -65,14 +65,14 @@ type PhaseBalance struct {
 
 // RunReport is the emitted document.
 type RunReport struct {
-	Schema      int       `json:"schema"`
-	Command     string    `json:"command"`
-	NP          int       `json:"np"`
-	Bodies      int       `json:"bodies"`
-	WallSeconds float64   `json:"wall_seconds"`
-	Constants   Constants `json:"flop_constants"`
-	Totals      Totals    `json:"totals"`
-	Ranks       []RankReport `json:"ranks"`
+	Schema      int            `json:"schema"`
+	Command     string         `json:"command"`
+	NP          int            `json:"np"`
+	Bodies      int            `json:"bodies"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Constants   Constants      `json:"flop_constants"`
+	Totals      Totals         `json:"totals"`
+	Ranks       []RankReport   `json:"ranks"`
 	Phases      []PhaseBalance `json:"phase_balance,omitempty"`
 	// CommMatrix*: row = sending rank, column = destination rank.
 	CommMatrixMsgs  [][]uint64                   `json:"comm_matrix_msgs,omitempty"`
@@ -88,8 +88,13 @@ const StallHistogram = "walk_stall_ns"
 
 // RankInput is what one rank's engine contributes to a report.
 type RankInput struct {
-	Counters    diag.Counters
-	Timer       *diag.Timer
+	Counters diag.Counters
+	Timer    *diag.Timer
+	// Sub carries sub-phase breakdowns nested inside Timer's phases
+	// (e.g. "treebuild/sort" within treebuild); folded into
+	// PhaseSeconds and the balance table under their slash-qualified
+	// names.
+	Sub         *diag.Timer
 	Rounds      int
 	RemoteCells int
 }
@@ -125,10 +130,15 @@ func BuildReport(command string, bodies int, wall float64, ranks []RankInput, w 
 			Rounds:      in.Rounds,
 			RemoteCells: in.RemoteCells,
 		}
-		if in.Timer != nil {
-			rr.PhaseSeconds = map[string]float64{}
-			for _, ph := range in.Timer.Phases() {
-				rr.PhaseSeconds[ph] = in.Timer.Get(ph).Seconds()
+		for _, tm := range []*diag.Timer{in.Timer, in.Sub} {
+			if tm == nil {
+				continue
+			}
+			if rr.PhaseSeconds == nil {
+				rr.PhaseSeconds = map[string]float64{}
+			}
+			for _, ph := range tm.Phases() {
+				rr.PhaseSeconds[ph] = tm.Get(ph).Seconds()
 				if !phaseSeen[ph] {
 					phaseSeen[ph] = true
 					phaseOrder = append(phaseOrder, ph)

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grav"
+	"repro/internal/ic"
+	"repro/internal/msg"
+	"repro/internal/vec"
+)
+
+// evalSnap freezes one evaluation's global outcome.
+type evalSnap struct {
+	acc    map[int64]vec.V3
+	pot    map[int64]float64
+	pp, pc uint64
+}
+
+// driftByID nudges every body by a hash of (ID, step), identically on
+// any rank that holds it, so consecutive evaluations exercise the
+// incremental resort and warm bisection.
+func driftByID(sys *core.System, step int) {
+	for i := 0; i < sys.Len(); i++ {
+		h := uint64(sys.ID[i])*2654435761 + uint64(step)*0x9e3779b9
+		f := func(shift uint) float64 {
+			return (float64((h>>shift)%1024)/1024 - 0.5) * 1e-4
+		}
+		sys.Pos[i] = sys.Pos[i].Add(vec.V3{X: f(0), Y: f(10), Z: f(20)})
+	}
+}
+
+// runPipeline runs `evals` force evaluations at np ranks under cfg,
+// drifting bodies between them, and snapshots each.
+func runPipeline(t *testing.T, n, np, evals int, cfg Config) []evalSnap {
+	t.Helper()
+	snaps := make([]evalSnap, evals)
+	for s := range snaps {
+		snaps[s].acc = make(map[int64]vec.V3, n)
+		snaps[s].pot = make(map[int64]float64, n)
+	}
+	var mu sync.Mutex
+	msg.Run(np, func(c *msg.Comm) {
+		global := ic.Plummer(n, 1.0, 23)
+		local := core.New(0)
+		local.EnableDynamics()
+		lo, hi := c.Rank()*n/np, (c.Rank()+1)*n/np
+		for i := lo; i < hi; i++ {
+			local.AppendFrom(global, i)
+		}
+		e := New(c, local, cfg)
+		prev := e.Counters
+		for s := 0; s < evals; s++ {
+			if s > 0 {
+				driftByID(e.Sys, s)
+			}
+			e.ComputeForces()
+			mu.Lock()
+			snaps[s].pp += e.Counters.PP - prev.PP
+			snaps[s].pc += e.Counters.PC - prev.PC
+			prev = e.Counters
+			for i := 0; i < e.Sys.Len(); i++ {
+				snaps[s].acc[e.Sys.ID[i]] = e.Sys.Acc[i]
+				snaps[s].pot[e.Sys.ID[i]] = e.Sys.Pot[i]
+			}
+			mu.Unlock()
+		}
+	})
+	return snaps
+}
+
+// The construction pipeline's knobs (worker fan-out, incremental vs
+// cold decomposition) must not change a single output bit: same
+// forces, same potentials, same interaction counts, at every rank
+// count and on every evaluation of a drifting multi-step run.
+func TestConstructionEquivalenceAcrossPipelines(t *testing.T) {
+	const n, evals = 1200, 3
+	base := Config{
+		MAC:  grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-4, Quad: true},
+		Eps2: 1e-6,
+	}
+	variants := []struct {
+		name string
+		mod  func(Config) Config
+	}{
+		{"serialBuild", func(c Config) Config { c.BuildWorkers = 1; return c }},
+		{"parallelBuild", func(c Config) Config { c.BuildWorkers = 8; return c }},
+		{"coldStart", func(c Config) Config { c.ColdStart = true; return c }},
+		{"coldParallel", func(c Config) Config { c.ColdStart = true; c.BuildWorkers = 8; return c }},
+	}
+	for _, np := range []int{1, 2, 8} {
+		ref := runPipeline(t, n, np, evals, base)
+		for _, v := range variants {
+			got := runPipeline(t, n, np, evals, v.mod(base))
+			for s := 0; s < evals; s++ {
+				if got[s].pp != ref[s].pp || got[s].pc != ref[s].pc {
+					t.Errorf("np=%d %s eval=%d: PP/PC %d/%d, want %d/%d",
+						np, v.name, s, got[s].pp, got[s].pc, ref[s].pp, ref[s].pc)
+				}
+				if len(got[s].acc) != len(ref[s].acc) {
+					t.Fatalf("np=%d %s eval=%d: %d bodies, want %d", np, v.name, s, len(got[s].acc), len(ref[s].acc))
+				}
+				for id, a := range ref[s].acc {
+					if got[s].acc[id] != a || got[s].pot[id] != ref[s].pot[id] {
+						t.Fatalf("np=%d %s eval=%d: body %d force differs bitwise", np, v.name, s, id)
+					}
+				}
+			}
+		}
+	}
+}

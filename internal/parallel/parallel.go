@@ -38,6 +38,13 @@ type Config struct {
 	// *relative* force error fixed as clustering raises the typical
 	// acceleration (a collective; all ranks update identically).
 	AdaptTol float64
+	// BuildWorkers caps the construction-pipeline goroutines (radix
+	// sort, fan-out tree build); 0 means automatic, 1 serial. Forces
+	// are byte-identical for any value.
+	BuildWorkers int
+	// ColdStart disables the incremental decomposition (resort repair,
+	// warm splitter bisection); results are byte-identical either way.
+	ColdStart bool
 }
 
 // Leaf is the gravity leaf payload of a request reply: position and
@@ -104,6 +111,7 @@ func New(c *msg.Comm, sys *core.System, cfg Config) *Engine {
 	e.phys = &physics{e: e}
 	e.Engine = hotengine.New[hotengine.None, Leaf](c, sys, e.phys, hotengine.Config{
 		MAC: cfg.MAC, Bucket: cfg.Bucket, MaxRounds: cfg.MaxRounds,
+		BuildWorkers: cfg.BuildWorkers, ColdStart: cfg.ColdStart,
 	})
 	return e
 }

@@ -14,7 +14,6 @@ package tree
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/grav"
@@ -69,73 +68,12 @@ func Build(sys *core.System, d keys.Domain, mac grav.MACParams, bucket int) *Tre
 
 // BuildRange constructs the tree for a processor owning the key-offset
 // interval [lo, hi): identical to Build except that cells straddling
-// the interval boundary always subdivide (see Tree.rangeLo).
+// the interval boundary always subdivide (see Tree.rangeLo). It runs
+// through a transient Builder (see build.go); pipelines that build
+// every timestep hold a persistent Builder instead.
 func BuildRange(sys *core.System, d keys.Domain, mac grav.MACParams, bucket int, lo, hi uint64) *Tree {
-	if bucket <= 0 {
-		bucket = DefaultBucketSize
-	}
-	if !sys.Sorted() {
-		panic("tree: bodies must be sorted by key before Build")
-	}
-	t := &Tree{
-		Sys:     sys,
-		Domain:  d,
-		MAC:     mac,
-		Bucket:  bucket,
-		Cells:   htab.New[Cell](2 * (sys.Len()/bucket + 16)),
-		rangeLo: lo, rangeHi: hi,
-	}
-	t.build(keys.Root, 0, sys.Len())
-	return t
-}
-
-// build constructs the subtree for cell key over bodies [lo,hi) and
-// returns its moments.
-func (t *Tree) build(key keys.Key, lo, hi int) grav.Multipole {
-	center, size := t.Domain.CellCenter(key)
-	inside := KeyOffset(key.MinBody()) >= t.rangeLo && KeyOffset(key.MaxBody()) < t.rangeHi
-	if (hi-lo <= t.Bucket && inside) || key.Level() == keys.MaxLevel {
-		mp := grav.FromBodies(t.Sys.Pos[lo:hi], t.Sys.Mass[lo:hi])
-		c := Cell{
-			Key:   key,
-			Mp:    mp,
-			First: int32(lo),
-			N:     int32(hi - lo),
-			Leaf:  true,
-		}
-		c.RCrit = grav.RCrit(&mp, size, mp.COM.Sub(center).Norm(), t.MAC)
-		t.Cells.Insert(key, c)
-		t.Groups = append(t.Groups, key)
-		return mp
-	}
-	var children [8]grav.Multipole
-	present := children[:0]
-	var mask uint8
-	cur := lo
-	for oct := 0; oct < 8; oct++ {
-		ck := key.Child(oct)
-		// End of this octant's body range: first key beyond MaxBody.
-		end := cur + sort.Search(hi-cur, func(i int) bool {
-			return t.Sys.Key[cur+i] > ck.MaxBody()
-		})
-		if end > cur {
-			mp := t.build(ck, cur, end)
-			present = append(present, mp)
-			mask |= 1 << uint(oct)
-		}
-		cur = end
-	}
-	mp := grav.Combine(present)
-	c := Cell{
-		Key:       key,
-		Mp:        mp,
-		First:     int32(lo),
-		N:         int32(hi - lo),
-		ChildMask: mask,
-	}
-	c.RCrit = grav.RCrit(&mp, size, mp.COM.Sub(center).Norm(), t.MAC)
-	t.Cells.Insert(key, c)
-	return mp
+	var b Builder
+	return b.BuildRange(sys, d, mac, bucket, lo, hi)
 }
 
 // Cell returns the cell stored under k, or nil.

@@ -13,8 +13,11 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 echo "== go test -race -count=1 (concurrency-heavy packages, uncached)"
-go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./internal/msg
-echo "== benchcmp (Ablation_Batched vs BENCH_baseline.json, tol 15%)"
-go test -run='^$' -bench=Ablation_Batched -benchtime=1x . |
-	go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_Batched' -tol 0.15
+go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./internal/msg \
+	./internal/core ./internal/tree ./internal/domain
+echo "== benchcmp (construction + walker ablations vs BENCH_baseline.json, tol 15%)"
+{
+	go test -run='^$' -bench=Ablation_Batched -benchtime=1x .
+	go test -run='^$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x .
+} | go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_(Batched|Sort|Build|Decompose)' -tol 0.15
 echo "== ok"
