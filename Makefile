@@ -4,6 +4,14 @@
 check:
 	sh scripts/check.sh
 
+# Chaos soak: treebench under deterministic fault injection across
+# np in {2,8}; every run must end clean (0) or in a structured abort
+# (3) -- a hang or raw panic fails the soak.
+chaos:
+	sh scripts/chaos.sh full
+
+.PHONY: chaos
+
 # Regenerate the committed performance baseline (ablation benches at
 # one iteration each, parsed to JSON by cmd/benchdump). A short
 # treebench run supplies the RunReport whose flop-rate context is

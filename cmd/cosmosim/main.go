@@ -35,6 +35,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a machine-readable RunReport JSON (render with cmd/perfreport)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	watchdog := flag.Duration("watchdog", 0, "abort with a stall report after this long without progress (0 = off)")
 	flag.Parse()
 
 	r, err := cosmo.NewRealization(cosmo.Params{
@@ -75,8 +76,11 @@ func main() {
 	engines := make([]*parallel.Engine, *procs)
 	w := msg.NewWorld(*procs)
 	w.SetTrace(run)
+	if *watchdog > 0 {
+		w.StartWatchdog(msg.WatchdogConfig{Quiet: *watchdog, Stacks: true})
+	}
 	start := time.Now()
-	w.Run(func(c *msg.Comm) {
+	werr := w.RunErr(func(c *msg.Comm) {
 		local := core.New(0)
 		local.EnableDynamics()
 		lo, hi := c.Rank()*n / *procs, (c.Rank()+1)*n / *procs
@@ -106,6 +110,12 @@ func main() {
 		engines[c.Rank()] = e
 	})
 	wall := time.Since(start).Seconds()
+	if werr != nil {
+		// Structured abort (exit 3): a contained failure, as opposed
+		// to a crash (panic) or a hang (external timeout).
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(3)
+	}
 
 	out := core.New(0)
 	out.EnableDynamics()

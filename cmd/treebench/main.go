@@ -7,6 +7,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -30,6 +32,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a machine-readable RunReport JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	chaosSpec := flag.String("chaos", "", `fault injection spec, e.g. "seed=7,crash=0.001,crashphase=walk" (test harness; keys: seed, crash, crashphase, stall, stallphase, latency, reorder)`)
+	watchdog := flag.Duration("watchdog", 0, "abort with a stall report after this long without progress (0 = off; chaos runs default to 5s)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -60,8 +64,23 @@ func main() {
 	engines := make([]*parallel.Engine, *procs)
 	w := msg.NewWorld(*procs)
 	w.SetTrace(run)
+	var inj *msg.Injector
+	if *chaosSpec != "" {
+		var err error
+		if inj, err = parseChaos(*chaosSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		w.SetInjector(inj)
+		if *watchdog == 0 {
+			*watchdog = 5 * time.Second
+		}
+	}
+	if *watchdog > 0 {
+		w.StartWatchdog(msg.WatchdogConfig{Quiet: *watchdog, Stacks: true})
+	}
 	start := time.Now()
-	w.Run(func(c *msg.Comm) {
+	werr := w.RunErr(func(c *msg.Comm) {
 		local := core.New(0)
 		local.EnableDynamics()
 		lo, hi := c.Rank()**n / *procs, (c.Rank()+1)**n / *procs
@@ -80,6 +99,23 @@ func main() {
 		engines[c.Rank()] = e
 	})
 	wall := time.Since(start).Seconds()
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Fprintf(os.Stderr, "chaos: injected delays=%d reorders=%d stalls=%d crashes=%d\n",
+			st.Delays, st.Reorders, st.Stalls, st.Crashes)
+		if reg != nil {
+			reg.Counter(metrics.ChaosDelays).Add(st.Delays)
+			reg.Counter(metrics.ChaosReorders).Add(st.Reorders)
+			reg.Counter(metrics.ChaosStalls).Add(st.Stalls)
+			reg.Counter(metrics.ChaosCrashes).Add(st.Crashes)
+		}
+	}
+	if werr != nil {
+		// Structured abort: exit code 3 distinguishes a contained
+		// failure from a crash (panic) or a hang (harness timeout).
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(3)
+	}
 
 	var inter, flops uint64
 	for _, e := range engines {
@@ -124,4 +160,53 @@ func main() {
 		est := m.Model(flops, perfmodel.RegimeTreeEarly, comm)
 		fmt.Printf("modeled on %s\n  %s\n", m.Name, est)
 	}
+}
+
+// parseChaos builds a fault injector from a "key=value,..." spec:
+// seed (uint), crash/stall/latency/reorder (probabilities in [0,1]),
+// crashphase/stallphase (phase labels gating crash/stall).
+func parseChaos(spec string) (*msg.Injector, error) {
+	inj := &msg.Injector{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad chaos field %q (want key=value)", kv)
+		}
+		switch key {
+		case "crashphase":
+			inj.CrashPhase = val
+			continue
+		case "stallphase":
+			inj.StallPhase = val
+			continue
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad chaos seed %q", val)
+			}
+			inj.Seed = s
+			continue
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("bad chaos probability %q=%q (want [0,1])", key, val)
+		}
+		switch key {
+		case "crash":
+			inj.CrashProb = p
+		case "stall":
+			inj.StallProb = p
+		case "latency":
+			inj.LatencyProb = p
+		case "reorder":
+			inj.ReorderProb = p
+		default:
+			return nil, fmt.Errorf("unknown chaos key %q", key)
+		}
+	}
+	return inj, nil
 }

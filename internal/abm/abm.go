@@ -15,6 +15,8 @@
 package abm
 
 import (
+	"fmt"
+
 	"repro/internal/msg"
 	"repro/internal/trace"
 )
@@ -26,9 +28,23 @@ type Engine[Req, Rep any] struct {
 	reqBytes int
 	repBytes int
 	// Handler serves a batch of requests from src, returning exactly
-	// one reply per request, in order.
+	// one reply per request, in order. The request slices are recycled
+	// after the round completes; a handler must not retain them past
+	// its own return.
 	Handler func(src int, reqs []Req) []Rep
 	queues  [][]Req
+	// spare holds the previous round's drained queues (lengths reset,
+	// capacities kept); Round swaps it with queues so steady-state
+	// posting allocates nothing. The reply Alltoallv is what makes the
+	// swap safe: a rank's Round only returns after every server has
+	// read its request batches (the replies prove it), so by the time
+	// the recycled arrays take new posts, nobody aliases them.
+	spare [][]Req
+	// arrived and repRecv are the reused outer receive buffers of the
+	// two exchanges; replies is the reused per-source reply index.
+	arrived [][]Req
+	replies [][]Rep
+	repRecv [][]Rep
 	// Posted counts requests queued since construction (diagnostic).
 	Posted uint64
 	// Served counts requests this rank handled (diagnostic).
@@ -50,6 +66,8 @@ func New[Req, Rep any](c *msg.Comm, reqBytes, repBytes int, handler func(src int
 		repBytes: repBytes,
 		Handler:  handler,
 		queues:   make([][]Req, c.Size()),
+		spare:    make([][]Req, c.Size()),
+		replies:  make([][]Rep, c.Size()),
 	}
 }
 
@@ -74,28 +92,43 @@ func (e *Engine[Req, Rep]) PendingLocal() bool {
 // every queue, serves incoming batches with Handler, and returns the
 // replies to this rank's requests, indexed by destination rank and
 // aligned with posting order. Ranks with nothing to send still
-// participate (they may be serving others).
+// participate (they may be serving others). The returned slice (and
+// the request batches handed to Handler) are valid until the next
+// Round on this engine; steady-state rounds allocate nothing beyond
+// what Handler itself allocates.
 func (e *Engine[Req, Rep]) Round() [][]Rep {
 	t0 := e.Trace.Now()
 	defer func() { e.Trace.Span("abm.round", t0) }()
 	e.Rounds++
+	e.c.NoteRound(e.Rounds)
 	out := e.queues
-	e.queues = make([][]Req, e.c.Size())
+	e.queues = e.spare
 
-	arrived := msg.Alltoallv(e.c, out, e.reqBytes)
-	replies := make([][]Rep, e.c.Size())
+	e.arrived = msg.AlltoallvInto(e.c, out, e.arrived, e.reqBytes)
+	arrived := e.arrived
+	replies := e.replies
 	for src := range arrived {
+		replies[src] = nil
 		if len(arrived[src]) == 0 {
 			continue
 		}
 		e.Served += uint64(len(arrived[src]))
 		reps := e.Handler(src, arrived[src])
 		if len(reps) != len(arrived[src]) {
-			panic("abm: handler must return one reply per request")
+			e.c.Abort(fmt.Errorf("abm: handler returned %d replies for %d requests from rank %d",
+				len(reps), len(arrived[src]), src))
 		}
 		replies[src] = reps
 	}
-	return msg.Alltoallv(e.c, replies, e.repBytes)
+	e.repRecv = msg.AlltoallvInto(e.c, replies, e.repRecv, e.repBytes)
+	// The reply exchange above is the synchronization point: every
+	// server has finished reading this round's request batches, so the
+	// drained queues can be recycled for posting.
+	for d := range out {
+		out[d] = out[d][:0]
+	}
+	e.spare = out
+	return e.repRecv
 }
 
 // AnyPendingGlobal is a collective that reports whether any rank has

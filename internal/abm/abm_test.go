@@ -141,3 +141,92 @@ func TestHandlerArityPanics(t *testing.T) {
 		e.Round()
 	})
 }
+
+// Steady-state rounds must allocate nothing: the engine recycles the
+// drained posting queues, the exchange receive buffers, and the reply
+// index, and the handler below reuses its own reply buffer. This pins
+// the PR 5 queue-churn fix (one fresh [][]Req per round, previously).
+func TestRoundZeroAllocSteadyState(t *testing.T) {
+	msg.Run(1, func(c *msg.Comm) {
+		var reps []int
+		e := New[int, int](c, 8, 8, func(src int, reqs []int) []int {
+			reps = reps[:0]
+			for _, r := range reqs {
+				reps = append(reps, r*2)
+			}
+			return reps
+		})
+		// Warm up: let every recycled buffer reach its steady capacity.
+		for i := 0; i < 4; i++ {
+			e.Post(0, i)
+			e.Post(0, i+10)
+			e.Round()
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			e.Post(0, 1)
+			e.Post(0, 2)
+			out := e.Round()
+			if len(out[0]) != 2 || out[0][0] != 2 || out[0][1] != 4 {
+				t.Fatalf("bad replies: %v", out[0])
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("steady-state Round allocates %.1f objects/round, want 0", allocs)
+		}
+	})
+}
+
+// The round loop of a real walk posts to many destinations; make sure
+// recycling holds across multi-rank worlds too (allocation counted on
+// rank 0 only, others just serve).
+func TestRoundRecyclesQueuesMultiRank(t *testing.T) {
+	msg.Run(4, func(c *msg.Comm) {
+		e := New[int, int](c, 8, 8, func(src int, reqs []int) []int {
+			out := make([]int, len(reqs))
+			for i, r := range reqs {
+				out[i] = r + src
+			}
+			return out
+		})
+		for round := 0; round < 20; round++ {
+			for d := 0; d < c.Size(); d++ {
+				e.Post(d, round*10+d)
+			}
+			out := e.Round()
+			for d := 0; d < c.Size(); d++ {
+				if len(out[d]) != 1 || out[d][0] != round*10+d+c.Rank() {
+					t.Errorf("round %d dst %d: %v", round, d, out[d])
+				}
+			}
+		}
+		if e.Rounds != 20 {
+			t.Errorf("Rounds = %d", e.Rounds)
+		}
+	})
+}
+
+// BenchmarkRoundSteadyState is the guardrail for the queue-recycling
+// fix: bytes/op must stay at zero for the engine's own machinery.
+func BenchmarkRoundSteadyState(b *testing.B) {
+	msg.Run(1, func(c *msg.Comm) {
+		var reps []int
+		e := New[int, int](c, 8, 8, func(src int, reqs []int) []int {
+			reps = reps[:0]
+			for _, r := range reqs {
+				reps = append(reps, r*2)
+			}
+			return reps
+		})
+		for i := 0; i < 4; i++ {
+			e.Post(0, i)
+			e.Round()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Post(0, i)
+			e.Post(0, i+1)
+			e.Round()
+		}
+	})
+}

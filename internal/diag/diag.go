@@ -7,6 +7,7 @@ package diag
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -178,6 +179,21 @@ func BalanceOf(vals []float64) Balance {
 		b.Efficiency = b.Mean / b.Max
 	}
 	return b
+}
+
+// Stacks returns the stack traces of every live goroutine -- the raw
+// material of a hang diagnosis. The msg stall watchdog appends this to
+// its per-rank state table so a stuck collective shows exactly which
+// receive each rank is parked in.
+func Stacks() []byte {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, 2*len(buf))
+	}
 }
 
 // Rate formats ops/seconds as a human-readable flops rate, matching

@@ -156,3 +156,13 @@ func TestRate(t *testing.T) {
 		t.Error("zero-time rate should be inf")
 	}
 }
+
+func TestStacksListsGoroutines(t *testing.T) {
+	out := Stacks()
+	if !strings.Contains(string(out), "goroutine") {
+		t.Fatalf("stack dump looks empty: %q", string(out[:min(len(out), 80)]))
+	}
+	if !strings.Contains(string(out), "TestStacksListsGoroutines") {
+		t.Fatal("dump does not include the calling goroutine")
+	}
+}

@@ -466,7 +466,13 @@ func (e *Engine[X, B]) WalkGroups(label string, walk func(gk keys.Key, g *tree.C
 
 	for round := 0; ; round++ {
 		if round > e.Cfg.MaxRounds {
-			panic("hotengine: request rounds exceeded MaxRounds; protocol stuck")
+			// One rank declaring the protocol stuck must not strand
+			// the others inside the next collective: abort the whole
+			// world so every rank unwinds with its round state (noted
+			// by abm.Round) attached to the WorldError.
+			e.C.Abort(fmt.Errorf(
+				"hotengine: request rounds exceeded MaxRounds=%d in phase %q: %d groups deferred, %d cells pending, %d rounds since exchange",
+				e.Cfg.MaxRounds, label, len(deferred), len(pending), e.Rounds))
 		}
 		var still []keys.Key
 		for _, gk := range deferred {

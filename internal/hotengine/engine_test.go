@@ -2,8 +2,10 @@ package hotengine_test
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
@@ -178,4 +180,55 @@ func TestEngineTimerPhases(t *testing.T) {
 			}
 		}
 	})
+}
+
+// A walk that never converges (every group keeps reporting the same
+// key missing) must end in a prompt world-wide abort when MaxRounds
+// is exceeded -- not the panic-plus-survivor-deadlock it used to be.
+// The WorldError carries each rank's batched-request round so the
+// report shows how far the protocol got.
+func TestMaxRoundsAbort(t *testing.T) {
+	global := randomSystem(64, 77)
+	done := make(chan *msg.WorldError, 1)
+	go func() {
+		w := msg.NewWorld(2)
+		done <- w.RunErr(func(c *msg.Comm) {
+			phys := &countPhysics{}
+			var e *hotengine.Engine[float64, []int64]
+			phys.e = func() *hotengine.Engine[float64, []int64] { return e }
+			e = hotengine.New[float64, []int64](c, scatterTo(global, c), phys, hotengine.Config{
+				MAC:       grav.MACParams{Kind: grav.MACBarnesHut, Theta: 0.5},
+				Bucket:    8,
+				MaxRounds: 3,
+			})
+			e.Exchange()
+			// Pathological walk: the root always resolves, but this walk
+			// insists it is missing, so the rounds can never drain.
+			e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+				return []keys.Key{keys.Root}
+			})
+		})
+	}()
+	var err *msg.WorldError
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("MaxRounds overrun hung instead of aborting")
+	}
+	if err == nil {
+		t.Fatal("expected a WorldError from the MaxRounds backstop")
+	}
+	if !strings.Contains(err.Cause.Error(), "MaxRounds=3") {
+		t.Fatalf("cause = %v, want a MaxRounds overrun", err.Cause)
+	}
+	if !strings.Contains(err.Cause.Error(), `phase "walk"`) {
+		t.Fatalf("cause does not name the phase: %v", err.Cause)
+	}
+	// Both ranks ran batched-request rounds before the abort; the
+	// state table must carry that progress.
+	for _, s := range err.Ranks {
+		if s.Round == 0 {
+			t.Fatalf("rank %d shows no request rounds: %+v", s.Rank, err.Ranks)
+		}
+	}
 }

@@ -86,6 +86,16 @@ type RunReport struct {
 // walk completion.
 const StallHistogram = "walk_stall_ns"
 
+// Registry names under which a chaos run records what its fault
+// injector actually did (msg.InjectorStats), so a RunReport from a
+// chaos soak documents its own perturbation.
+const (
+	ChaosDelays   = "chaos_delays"
+	ChaosReorders = "chaos_reorders"
+	ChaosStalls   = "chaos_stalls"
+	ChaosCrashes  = "chaos_crashes"
+)
+
 // RankInput is what one rank's engine contributes to a report.
 type RankInput struct {
 	Counters diag.Counters

@@ -8,8 +8,7 @@ package msg
 // Bcast distributes root's value to every rank via a binomial tree
 // (log2 P message rounds, as a real MPI would).
 func Bcast[T any](c *Comm, root int, x T, bytes int) T {
-	tag := c.ctag(opBcast)
-	c.seq++
+	tag := c.nextTag(opBcast)
 	p := c.Size()
 	// Work in a coordinate system where root is rank 0.
 	vr := (c.Rank() - root + p) % p
@@ -35,8 +34,7 @@ func Bcast[T any](c *Comm, root int, x T, bytes int) T {
 // Reduce combines every rank's x with op (applied in rank order) and
 // returns the result on root; other ranks receive the zero value.
 func Reduce[T any](c *Comm, root int, x T, op func(a, b T) T, bytes int) T {
-	tag := c.ctag(opReduce)
-	c.seq++
+	tag := c.nextTag(opReduce)
 	if c.Rank() != root {
 		c.send(root, tag, x, bytes)
 		var zero T
@@ -71,8 +69,7 @@ func Allreduce[T any](c *Comm, x T, op func(a, b T) T, bytes int) T {
 // Gather collects every rank's value at root, indexed by rank; other
 // ranks receive nil.
 func Gather[T any](c *Comm, root int, x T, bytes int) []T {
-	tag := c.ctag(opGather)
-	c.seq++
+	tag := c.nextTag(opGather)
 	if c.Rank() != root {
 		c.send(root, tag, x, bytes)
 		return nil
@@ -98,8 +95,7 @@ func Allgather[T any](c *Comm, x T, bytes int) []T {
 // gets op(x_0, ..., x_{r-1}); rank 0 gets the zero value. Used by the
 // decomposition to compute global body offsets.
 func ExScan[T any](c *Comm, x T, op func(a, b T) T, bytes int) T {
-	tag := c.ctag(opScan)
-	c.seq++
+	tag := c.nextTag(opScan)
 	// Linear chain: rank r-1 sends its inclusive prefix to r.
 	var prefix T
 	have := false
@@ -123,18 +119,28 @@ func ExScan[T any](c *Comm, x T, op func(a, b T) T, bytes int) T {
 // The received slices alias the senders' slices (in-process handoff);
 // receivers treat them as read-only.
 func Alltoallv[T any](c *Comm, send [][]T, bytesPer int) [][]T {
+	return AlltoallvInto(c, send, nil, bytesPer)
+}
+
+// AlltoallvInto is Alltoallv reusing recv as the result's outer slice
+// when its capacity allows (every element is overwritten), so
+// steady-state exchanges -- the ABM round loop -- allocate nothing.
+// Pass nil to allocate fresh.
+func AlltoallvInto[T any](c *Comm, send, recv [][]T, bytesPer int) [][]T {
 	if len(send) != c.Size() {
 		panic("msg: Alltoallv needs one send slice per rank")
 	}
-	tag := c.ctag(opAlltoall)
-	c.seq++
+	tag := c.nextTag(opAlltoall)
 	for d := 0; d < c.Size(); d++ {
 		if d == c.Rank() {
 			continue
 		}
 		c.send(d, tag, send[d], bytesPer*len(send[d]))
 	}
-	recv := make([][]T, c.Size())
+	if cap(recv) < c.Size() {
+		recv = make([][]T, c.Size())
+	}
+	recv = recv[:c.Size()]
 	recv[c.Rank()] = send[c.Rank()]
 	for s := 0; s < c.Size(); s++ {
 		if s == c.Rank() {

@@ -26,6 +26,7 @@ package msg
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -42,25 +43,60 @@ type Message struct {
 	Tag   int
 	Data  any
 	Bytes int // logical payload size used for traffic accounting
+
+	// bumped marks a queued message that an injected reorder has
+	// already overtaken once; it is never overtaken again, which is
+	// what bounds any message's displacement to one delivery slot.
+	bumped bool
 }
 
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []Message
+	w     *World
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(w *World) *mailbox {
+	m := &mailbox{w: w}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-func (m *mailbox) put(msg Message) {
+// put appends a message (or, under injected reorder, slots it one
+// position ahead of the newest queued message of the same (src, tag)
+// stream) and bumps the world progress counter the watchdog samples.
+func (m *mailbox) put(msg Message, reorder bool) {
 	m.mu.Lock()
-	m.queue = append(m.queue, msg)
+	if reorder {
+		m.putReordered(msg)
+	} else {
+		m.queue = append(m.queue, msg)
+	}
+	m.w.progress.Add(1)
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// putReordered inserts msg one slot ahead of the tail-most queued
+// message of the same (src, tag) stream, a bounded perturbation: a
+// message already overtaken once (bumped) is never overtaken again,
+// so no message is ever displaced by more than one delivery slot in
+// either direction. Caller holds m.mu.
+func (m *mailbox) putReordered(msg Message) {
+	for i := len(m.queue) - 1; i >= 0; i-- {
+		if m.queue[i].Src == msg.Src && m.queue[i].Tag == msg.Tag {
+			if m.queue[i].bumped {
+				break // keep the one-slot bound
+			}
+			m.queue[i].bumped = true
+			m.queue = append(m.queue, Message{})
+			copy(m.queue[i+1:], m.queue[i:])
+			m.queue[i] = msg
+			return
+		}
+	}
+	m.queue = append(m.queue, msg)
 }
 
 func match(msg Message, src, tag int) bool {
@@ -74,16 +110,31 @@ func match(msg Message, src, tag int) bool {
 }
 
 // take removes and returns the first matching message, blocking until
-// one arrives.
-func (m *mailbox) take(src, tag int) Message {
+// one arrives. An aborted world wakes every blocked take (the condvars
+// are broadcast by World.Abort) and unwinds the caller with the abort
+// sentinel; the fast path pays one atomic load for that. st records
+// where this rank is blocked, but only once it actually waits, so a
+// take satisfied from the queue never touches it.
+func (m *mailbox) take(src, tag int, st *rankState) Message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	blocked := false
 	for {
+		if m.w.aborted.Load() {
+			panic(abortUnwind{})
+		}
 		for i, msg := range m.queue {
 			if match(msg, src, tag) {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				if blocked {
+					st.clearBlocked()
+				}
 				return msg
 			}
+		}
+		if !blocked {
+			st.setBlocked(src, tag)
+			blocked = true
 		}
 		m.cond.Wait()
 	}
@@ -94,6 +145,9 @@ func (m *mailbox) take(src, tag int) Message {
 func (m *mailbox) tryTake(src, tag int) (Message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.w.aborted.Load() {
+		panic(abortUnwind{})
+	}
 	for i, msg := range m.queue {
 		if match(msg, src, tag) {
 			m.queue = append(m.queue[:i], m.queue[i+1:]...)
@@ -146,6 +200,21 @@ type World struct {
 	boxes   []*mailbox
 	traffic []Traffic
 	trace   *trace.Run
+
+	// Failure containment (abort.go): the aborted flag is checked by
+	// every take, abortCh wakes injected stalls, states carries the
+	// per-rank progress snapshot the watchdog and WorldError report.
+	aborted  atomic.Bool
+	abortMu  sync.Mutex
+	abortErr *WorldError
+	abortCh  chan struct{}
+	states   []rankState
+
+	// progress counts message deliveries and phase transitions; the
+	// stall watchdog (watchdog.go) samples it to detect a quiet world.
+	progress atomic.Uint64
+	inj      *Injector
+	wd       *Watchdog
 }
 
 // NewWorld creates a world of np ranks without running anything; used
@@ -154,15 +223,29 @@ func NewWorld(np int) *World {
 	if np < 1 {
 		panic("msg: world size must be >= 1")
 	}
-	w := &World{size: np, boxes: make([]*mailbox, np), traffic: make([]Traffic, np)}
+	w := &World{
+		size: np, boxes: make([]*mailbox, np), traffic: make([]Traffic, np),
+		abortCh: make(chan struct{}), states: make([]rankState, np),
+	}
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(w)
 		w.traffic[i] = Traffic{
 			Phases: make(map[string]*PhaseTraffic),
 			Dest:   make([]PhaseTraffic, np),
 		}
+		w.states[i].phase = "init"
 	}
 	return w
+}
+
+// SetInjector attaches a deterministic fault injector (inject.go).
+// Must be called before any communication; nil (or never calling
+// this) keeps the send/recv hot paths at a single extra branch.
+func (w *World) SetInjector(inj *Injector) {
+	if inj != nil {
+		inj.attach(w)
+	}
+	w.inj = inj
 }
 
 // SetTrace attaches a trace.Run: every Send and Recv then also emits
@@ -237,6 +320,11 @@ type Comm struct {
 	// never be confused; all ranks must call collectives in the same
 	// order (the usual SPMD contract).
 	seq int
+	// st mirrors phase/seq/blocked-recv into the world's per-rank
+	// state table for the watchdog and WorldError (abort.go). Updated
+	// off the per-message hot path: on phase changes, collective
+	// entry, and only when a Recv actually blocks.
+	st *rankState
 }
 
 // Comm returns rank r's communicator.
@@ -244,7 +332,7 @@ func (w *World) Comm(r int) *Comm {
 	if r < 0 || r >= w.size {
 		panic(fmt.Sprintf("msg: rank %d out of range [0,%d)", r, w.size))
 	}
-	return &Comm{w: w, rank: r, phase: "init"}
+	return &Comm{w: w, rank: r, phase: "init", st: &w.states[r]}
 }
 
 // Rank returns this communicator's rank.
@@ -254,7 +342,19 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.w.size }
 
 // Phase labels subsequent traffic for the machine model.
-func (c *Comm) Phase(name string) { c.phase = name }
+func (c *Comm) Phase(name string) {
+	c.phase = name
+	c.st.setPhase(name)
+	c.w.progress.Add(1)
+}
+
+// NoteRound records this rank's current batched-request round in the
+// world's state table, so a watchdog dump or WorldError names how far
+// each rank's request/reply protocol got.
+func (c *Comm) NoteRound(n uint64) {
+	c.st.setRound(n)
+	c.w.progress.Add(1)
+}
 
 // CurrentPhase returns the active phase label.
 func (c *Comm) CurrentPhase() string { return c.phase }
@@ -274,6 +374,10 @@ func (c *Comm) send(dst, tag int, data any, bytes int) {
 	if dst < 0 || dst >= c.w.size {
 		panic(fmt.Sprintf("msg: send to rank %d out of range", dst))
 	}
+	reorder := false
+	if c.w.inj != nil {
+		reorder = c.w.inj.onSend(c)
+	}
 	t := &c.w.traffic[c.rank]
 	t.add(c.phase, bytes)
 	t.Dest[dst].Msgs++
@@ -281,13 +385,16 @@ func (c *Comm) send(dst, tag int, data any, bytes int) {
 	if c.w.trace != nil {
 		c.w.trace.Rank(c.rank).Send(c.phase, dst, bytes)
 	}
-	c.w.boxes[dst].put(Message{Src: c.rank, Tag: tag, Data: data, Bytes: bytes})
+	c.w.boxes[dst].put(Message{Src: c.rank, Tag: tag, Data: data, Bytes: bytes}, reorder)
 }
 
 // Recv blocks until a message matching (src, tag) arrives. Use
 // AnySource / AnyTag as wildcards.
 func (c *Comm) Recv(src, tag int) Message {
-	m := c.w.boxes[c.rank].take(src, tag)
+	if c.w.inj != nil {
+		c.w.inj.onRecv(c)
+	}
+	m := c.w.boxes[c.rank].take(src, tag, c.st)
 	if c.w.trace != nil {
 		c.w.trace.Rank(c.rank).Recv(c.phase, m.Src, m.Bytes)
 	}
@@ -303,10 +410,16 @@ func (c *Comm) TryRecv(src, tag int) (Message, bool) {
 	return m, ok
 }
 
-// collective tags are negative and encode (sequence, op) so distinct
-// collectives never collide.
-func (c *Comm) ctag(op int) int {
-	return -(c.seq*16 + op + 3)
+// nextTag issues the (negative) tag of the next collective and
+// advances the sequence counter: tags encode (sequence, op) so
+// distinct collectives never collide. The new seq is mirrored into the
+// rank state table so a hang report shows how many collectives each
+// rank completed.
+func (c *Comm) nextTag(op int) int {
+	tag := -(c.seq*16 + op + 3)
+	c.seq++
+	c.st.setSeq(c.seq)
+	return tag
 }
 
 const (
@@ -323,8 +436,7 @@ const (
 // source rank of each round is distinct (dist < P), so a single tag
 // disambiguated by seq is enough.
 func (c *Comm) Barrier() {
-	tag := c.ctag(opBarrier)
-	c.seq++
+	tag := c.nextTag(opBarrier)
 	p := c.w.size
 	for dist := 1; dist < p; dist <<= 1 {
 		dst := (c.rank + dist) % p
@@ -335,8 +447,8 @@ func (c *Comm) Barrier() {
 }
 
 // Run executes fn on every rank of a fresh world and returns the
-// world for traffic inspection. A panic on any rank is re-raised on
-// the caller with the rank attached.
+// world for traffic inspection. A failure on any rank aborts the
+// whole world and is re-raised on the caller as a *WorldError.
 func Run(np int, fn func(*Comm)) *World {
 	w := NewWorld(np)
 	w.Run(fn)
@@ -346,27 +458,46 @@ func Run(np int, fn func(*Comm)) *World {
 // Run executes fn on every rank of this world, one goroutine per
 // rank, and returns when all complete. Callers that need tracing or
 // other pre-run configuration use NewWorld + SetTrace + Run instead
-// of the package-level Run. A panic on any rank is re-raised on the
-// caller with the rank attached.
+// of the package-level Run. A failure on any rank aborts the world
+// (every blocked rank unwinds promptly instead of hanging) and is
+// re-raised on the caller as a *WorldError naming the first failing
+// rank, its cause, and each rank's last known progress.
 func (w *World) Run(fn func(*Comm)) {
+	if err := w.RunErr(fn); err != nil {
+		panic(err)
+	}
+}
+
+// RunErr is Run returning the structured abort instead of panicking:
+// nil on clean completion, else the *WorldError. Drivers that want a
+// diagnosable exit (the chaos harness, long simulations) use this.
+func (w *World) RunErr(fn func(*Comm)) *WorldError {
 	var wg sync.WaitGroup
-	panics := make([]any, w.size)
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if p := recover(); p != nil {
-					panics[rank] = p
+				p := recover()
+				if p == nil {
+					return
 				}
+				if _, secondary := p.(abortUnwind); secondary {
+					// This rank unwound because some other rank
+					// failed first; nothing new to report.
+					return
+				}
+				w.Abort(rank, causeOf(p))
 			}()
 			fn(w.Comm(rank))
 		}(r)
 	}
 	wg.Wait()
-	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("msg: rank %d panicked: %v", r, p))
-		}
+	if w.wd != nil {
+		w.wd.Stop()
 	}
+	w.abortMu.Lock()
+	err := w.abortErr
+	w.abortMu.Unlock()
+	return err
 }

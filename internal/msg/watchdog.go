@@ -1,0 +1,128 @@
+// Stall watchdog: turns a silent hang into a diagnosable report. The
+// abort path (abort.go) contains failures that announce themselves;
+// the watchdog catches the ones that don't -- a protocol mismatch
+// where every rank waits on a message nobody will send, an injected
+// stall, a lost wakeup. It samples the world's progress counter
+// (bumped on every message delivery, phase change, and request-round
+// note); after a configurable quiet period with no movement it dumps
+// the per-rank state table plus all goroutine stacks (diag.Stacks),
+// marks every rank's trace timeline, and aborts the world, so the run
+// ends in a structured *WorldError instead of hanging forever.
+
+package msg
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/diag"
+)
+
+// StallError is the abort cause of a watchdog-declared stall.
+type StallError struct {
+	// Quiet is how long the world made no progress.
+	Quiet time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("msg: no progress for %v (stalled)", e.Quiet)
+}
+
+// WatchdogConfig controls the stall monitor.
+type WatchdogConfig struct {
+	// Quiet is the no-progress period after which the world is
+	// declared stalled and aborted. Must exceed the run's longest
+	// communication-free compute stretch.
+	Quiet time.Duration
+	// Poll is the sampling interval (0 = Quiet/4).
+	Poll time.Duration
+	// Out receives the stall dump (nil = os.Stderr).
+	Out io.Writer
+	// Stacks includes every goroutine's stack in the dump.
+	Stacks bool
+}
+
+// Watchdog is a running stall monitor; see World.StartWatchdog.
+type Watchdog struct {
+	w    *World
+	cfg  WatchdogConfig
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartWatchdog launches a stall monitor on this world. Call before
+// Run; the monitor retires itself when the run completes (RunErr
+// stops it) or when it fires. At most one watchdog per world.
+func (w *World) StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Quiet <= 0 {
+		panic("msg: watchdog needs a positive quiet period")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = cfg.Quiet / 4
+	}
+	if cfg.Out == nil {
+		cfg.Out = os.Stderr
+	}
+	if w.wd != nil {
+		panic("msg: world already has a watchdog")
+	}
+	wd := &Watchdog{w: w, cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	w.wd = wd
+	go wd.loop()
+	return wd
+}
+
+// Stop retires the watchdog without firing. Idempotent; returns after
+// the monitor goroutine has exited.
+func (wd *Watchdog) Stop() {
+	wd.once.Do(func() { close(wd.stop) })
+	<-wd.done
+}
+
+func (wd *Watchdog) loop() {
+	defer close(wd.done)
+	last := wd.w.progress.Load()
+	lastChange := time.Now()
+	tick := time.NewTicker(wd.cfg.Poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-wd.stop:
+			return
+		case <-wd.w.abortCh:
+			return // the world already failed for a named reason
+		case <-tick.C:
+			cur := wd.w.progress.Load()
+			if cur != last {
+				last, lastChange = cur, time.Now()
+				continue
+			}
+			quiet := time.Since(lastChange)
+			if quiet < wd.cfg.Quiet {
+				continue
+			}
+			wd.fire(quiet)
+			return
+		}
+	}
+}
+
+// fire dumps the diagnosis and aborts the world.
+func (wd *Watchdog) fire(quiet time.Duration) {
+	states := wd.w.States()
+	out := wd.cfg.Out
+	fmt.Fprintf(out, "msg watchdog: no progress for %v; per-rank state:\n", quiet.Round(time.Millisecond))
+	for _, s := range states {
+		fmt.Fprintf(out, "  %s\n", s)
+	}
+	if wd.cfg.Stacks {
+		fmt.Fprintf(out, "goroutine stacks:\n")
+		out.Write(diag.Stacks())
+	}
+	wd.w.trace.MarkAll("watchdog.stall")
+	wd.w.Abort(RankWatchdog, &StallError{Quiet: quiet})
+}

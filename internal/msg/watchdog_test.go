@@ -1,0 +1,100 @@
+package msg
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a bytes.Buffer so the watchdog goroutine can
+// write the dump while the test later reads it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// A genuinely stalled world (every rank waiting on a message nobody
+// sends) must be detected, diagnosed, and aborted -- the silent-hang
+// class the abort path alone cannot catch.
+func TestWatchdogDetectsStall(t *testing.T) {
+	var dump syncBuffer
+	runWithDeadline(t, 10*time.Second, func() {
+		w := NewWorld(2)
+		w.StartWatchdog(WatchdogConfig{Quiet: 150 * time.Millisecond, Out: &dump, Stacks: true})
+		err := w.RunErr(func(c *Comm) {
+			c.Phase("deadlock")
+			c.Recv(1-c.Rank(), 99) // neither side ever sends
+		})
+		if err == nil {
+			t.Fatal("expected a WorldError")
+		}
+		if err.Rank != RankWatchdog {
+			t.Fatalf("abort rank = %d, want RankWatchdog", err.Rank)
+		}
+		var stall *StallError
+		if !errors.As(err, &stall) {
+			t.Fatalf("cause is %T, want *StallError: %v", err.Cause, err)
+		}
+	})
+	out := dump.String()
+	for _, want := range []string{
+		"msg watchdog: no progress",
+		`rank 0: phase="deadlock"`,
+		"blocked=recv src=1 tag=99",
+		"goroutine", // the stack dump
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// A healthy run must never trip the watchdog, and RunErr retires it.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	var dump syncBuffer
+	w := NewWorld(4)
+	wd := w.StartWatchdog(WatchdogConfig{Quiet: 5 * time.Second, Out: &dump})
+	err := w.RunErr(func(c *Comm) {
+		for i := 0; i < 20; i++ {
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatalf("unexpected abort: %v", err)
+	}
+	wd.Stop() // idempotent after RunErr already stopped it
+	if got := dump.String(); got != "" {
+		t.Fatalf("watchdog wrote a dump on a healthy run:\n%s", got)
+	}
+}
+
+// The watchdog must not fire while progress is being made, even when
+// individual ranks are briefly idle between bursts.
+func TestWatchdogToleratesSlowProgress(t *testing.T) {
+	w := NewWorld(2)
+	w.StartWatchdog(WatchdogConfig{Quiet: 400 * time.Millisecond, Out: &syncBuffer{}})
+	err := w.RunErr(func(c *Comm) {
+		for i := 0; i < 6; i++ {
+			time.Sleep(100 * time.Millisecond) // under Quiet, progress resumes
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatalf("watchdog fired on a slow but live run: %v", err)
+	}
+}

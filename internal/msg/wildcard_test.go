@@ -1,0 +1,150 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Recv(AnySource, AnyTag) must still honor per-(source, tag) FIFO:
+// a wildcard drains streams in arrival order, but within any one
+// stream values arrive in posting order.
+func TestWildcardRecvStreamFIFO(t *testing.T) {
+	const n = 50
+	perStream := make(map[[2]int][]int)
+	Run(3, func(c *Comm) {
+		switch c.Rank() {
+		case 1:
+			for i := 0; i < n; i++ {
+				c.Send(0, 10, i, 4)
+				c.Send(0, 11, 1000+i, 4)
+			}
+		case 2:
+			for i := 0; i < n; i++ {
+				c.Send(0, 10, 2000+i, 4)
+			}
+		case 0:
+			for i := 0; i < 3*n; i++ {
+				m := c.Recv(AnySource, AnyTag)
+				key := [2]int{m.Src, m.Tag}
+				perStream[key] = append(perStream[key], m.Data.(int))
+			}
+		}
+	})
+	if len(perStream) != 3 {
+		t.Fatalf("got %d streams, want 3", len(perStream))
+	}
+	for key, vals := range perStream {
+		if len(vals) != n {
+			t.Fatalf("stream %v delivered %d messages, want %d", key, len(vals), n)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] <= vals[i-1] {
+				t.Fatalf("stream %v violated FIFO at %d: %v", key, i, vals)
+			}
+		}
+	}
+}
+
+// A wildcard source with a fixed tag selects only that tag while
+// preserving the per-source order.
+func TestWildcardSourceFixedTag(t *testing.T) {
+	got := make([]Message, 0, 4)
+	Run(3, func(c *Comm) {
+		switch c.Rank() {
+		case 1:
+			c.Send(0, 5, "a1", 2)
+			c.Send(0, 6, "b1", 2)
+			c.Send(0, 5, "a2", 2)
+		case 2:
+			c.Send(0, 5, "c1", 2)
+		case 0:
+			for i := 0; i < 3; i++ {
+				got = append(got, c.Recv(AnySource, 5))
+			}
+			// The tag-6 message must still be there, untouched.
+			got = append(got, c.Recv(1, 6))
+		}
+	})
+	for _, m := range got[:3] {
+		if m.Tag != 5 {
+			t.Fatalf("wildcard-source recv returned tag %d, want 5", m.Tag)
+		}
+	}
+	var from1 []string
+	for _, m := range got[:3] {
+		if m.Src == 1 {
+			from1 = append(from1, m.Data.(string))
+		}
+	}
+	if len(from1) != 2 || from1[0] != "a1" || from1[1] != "a2" {
+		t.Fatalf("source-1 tag-5 order = %v, want [a1 a2]", from1)
+	}
+	if got[3].Data.(string) != "b1" {
+		t.Fatalf("tag-6 message = %v, want b1", got[3].Data)
+	}
+}
+
+// TryRecv must account exactly like Recv: a hit emits one trace recv
+// event with the same peer/bytes a blocking Recv would, a miss emits
+// nothing, and sender-side traffic is identical either way.
+func TestTryRecvAccountingParity(t *testing.T) {
+	recvEvents := func(poll bool) ([]trace.Event, PhaseTraffic) {
+		w := NewWorld(2)
+		tr := trace.NewRun(2)
+		w.SetTrace(tr)
+		w.Run(func(c *Comm) {
+			c.Phase("x")
+			if c.Rank() == 0 {
+				c.Send(1, 3, "payload", 64)
+				return
+			}
+			if poll {
+				for {
+					if _, ok := c.TryRecv(0, 3); ok {
+						break
+					}
+				}
+			} else {
+				c.Recv(0, 3)
+			}
+		})
+		var evs []trace.Event
+		for _, ev := range tr.Rank(1).Events() {
+			if ev.Kind == trace.KindRecv {
+				evs = append(evs, ev)
+			}
+		}
+		return evs, w.RankTraffic(0).Total()
+	}
+
+	blocking, trafB := recvEvents(false)
+	polled, trafP := recvEvents(true)
+	if len(blocking) != 1 || len(polled) != 1 {
+		t.Fatalf("recv event counts: blocking=%d polled=%d, want 1 each", len(blocking), len(polled))
+	}
+	b, p := blocking[0], polled[0]
+	if b.Peer != p.Peer || b.Bytes != p.Bytes || b.Name != p.Name {
+		t.Fatalf("trace mismatch: Recv=%+v TryRecv=%+v", b, p)
+	}
+	if trafB != trafP {
+		t.Fatalf("traffic mismatch: Recv=%+v TryRecv=%+v", trafB, trafP)
+	}
+}
+
+// A missed TryRecv leaves no trace event behind.
+func TestTryRecvMissEmitsNothing(t *testing.T) {
+	w := NewWorld(1)
+	tr := trace.NewRun(1)
+	w.SetTrace(tr)
+	w.Run(func(c *Comm) {
+		if _, ok := c.TryRecv(0, 9); ok {
+			panic("unexpected message")
+		}
+	})
+	for _, ev := range tr.Rank(0).Events() {
+		if ev.Kind == trace.KindRecv {
+			t.Fatalf("miss emitted a recv event: %+v", ev)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package parallel
 
 import (
+	"errors"
+	"io"
 	"math"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/grav"
@@ -361,5 +364,44 @@ func TestBalanceReport(t *testing.T) {
 	// decently even on a clustered problem.
 	if rep.Work.Efficiency < 0.6 {
 		t.Fatalf("work balance efficiency %.2f: %+v", rep.Work.Efficiency, rep.Work)
+	}
+}
+
+// Regression for the PR 4 incident at full pipeline scale: a rank
+// dying inside the walk phase of an 8-way force computation must end
+// in a structured WorldError promptly (abort path), with the stall
+// watchdog armed as a backstop -- never a hang. The injector makes
+// the historical failure reproducible on demand.
+func TestChaosCrashDuringWalkAborts(t *testing.T) {
+	global := globalCloud(800, 4)
+	done := make(chan *msg.WorldError, 1)
+	go func() {
+		w := msg.NewWorld(8)
+		inj := &msg.Injector{Seed: 9, CrashProb: 1, CrashPhase: "walk"}
+		w.SetInjector(inj)
+		w.StartWatchdog(msg.WatchdogConfig{Quiet: 5 * time.Second, Out: io.Discard})
+		done <- w.RunErr(func(c *msg.Comm) {
+			e := New(c, scatter(global, c), cfg())
+			e.ComputeForces()
+		})
+	}()
+	var err *msg.WorldError
+	select {
+	case err = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("crashed world hung instead of aborting")
+	}
+	if err == nil {
+		t.Fatal("expected a WorldError from the injected crash")
+	}
+	var crash *msg.InjectedCrash
+	if !errors.As(err, &crash) {
+		t.Fatalf("cause = %v, want *InjectedCrash", err.Cause)
+	}
+	if crash.Phase != "walk" {
+		t.Fatalf("crash phase = %q, want walk", crash.Phase)
+	}
+	if err.Rank != crash.Rank {
+		t.Fatalf("WorldError rank %d != crash rank %d", err.Rank, crash.Rank)
 	}
 }

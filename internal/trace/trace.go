@@ -129,6 +129,18 @@ func (r *Run) Events() []Event {
 	return all
 }
 
+// MarkAll records an instant event on every rank's timeline at the
+// same moment -- the msg watchdog uses it to pin where a stall was
+// declared across all rank tracks. Nil-safe no-op.
+func (r *Run) MarkAll(name string) {
+	if r == nil {
+		return
+	}
+	for _, t := range r.ranks {
+		t.Instant(name)
+	}
+}
+
 // Dropped returns the total events discarded because a rank's ring
 // wrapped. Nil-safe (0).
 func (r *Run) Dropped() uint64 {

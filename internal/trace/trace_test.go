@@ -139,3 +139,20 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 		t.Fatalf("record kinds: %v", kinds)
 	}
 }
+
+func TestMarkAllStampsEveryRank(t *testing.T) {
+	r := NewRun(3)
+	r.MarkAll("watchdog.stall")
+	seen := map[int]bool{}
+	for _, ev := range r.Events() {
+		if ev.Kind == KindInstant && ev.Name == "watchdog.stall" {
+			seen[ev.Rank] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("MarkAll hit %d of 3 ranks: %v", len(seen), seen)
+	}
+	// Nil-safety: a traceless run must tolerate the watchdog marking.
+	var nilRun *Run
+	nilRun.MarkAll("watchdog.stall")
+}

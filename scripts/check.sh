@@ -14,7 +14,9 @@ echo "== go test -race"
 go test -race ./...
 echo "== go test -race -count=1 (concurrency-heavy packages, uncached)"
 go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./internal/msg \
-	./internal/core ./internal/tree ./internal/domain
+	./internal/core ./internal/tree ./internal/domain ./internal/abm ./internal/hotengine
+echo "== chaos soak (bounded, fixed seeds; clean exit or structured abort, never a hang)"
+sh scripts/chaos.sh quick
 echo "== benchcmp (construction + walker ablations vs BENCH_baseline.json, tol 15%)"
 {
 	go test -run='^$' -bench=Ablation_Batched -benchtime=1x .
