@@ -19,11 +19,13 @@ chaos:
 # what the machine achieved end to end when it was cut.
 # The construction-pipeline benches (Sort/Build/Decompose) finish in
 # tens of milliseconds, so they run 5 iterations for a stable number;
-# the second-scale benches stay at one.
+# the second-scale benches stay at one; the sub-millisecond
+# interaction-kernel benches (Eval) run 100 for the same reason.
 bench-baseline:
 	go run ./cmd/treebench -n 50000 -procs 4 -steps 1 -metrics /tmp/treebench_report.json >/dev/null
 	{ go test -run='^$$' -bench='Ablation_(MAC|Order|Group|Batched|Hash|Rsqrt|Curve|ABM)' -benchtime=1x . ; \
-	  go test -run='^$$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x . ; } \
+	  go test -run='^$$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x . ; \
+	  go test -run='^$$' -bench='Ablation_Eval' -benchtime=100x . ; } \
 	  | go run ./cmd/benchdump -runreport /tmp/treebench_report.json -o BENCH_baseline.json
 
 # Opt-in end-to-end guardrail on the achieved flop rate: cut a sim
@@ -41,9 +43,14 @@ simcmp:
 
 # Run just the benchmark guardrail: ablation benches at one iteration,
 # diffed against the committed baseline (fails on >15% regression).
+# The interaction-kernel benches get a looser timing tolerance (see
+# scripts/check.sh); their strict guards are allocs/op and the BCE
+# golden.
 benchcmp:
 	{ go test -run='^$$' -bench=Ablation_Batched -benchtime=1x . ; \
 	  go test -run='^$$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x . ; } \
 	  | go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_(Batched|Sort|Build|Decompose)' -tol 0.15
+	go test -run='^$$' -bench='Ablation_Eval' -benchtime=100x . \
+	  | go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_Eval' -tol 0.5
 
 .PHONY: benchcmp

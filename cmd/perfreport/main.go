@@ -6,6 +6,10 @@
 // Usage:
 //
 //	perfreport run.json              render one report
+//	perfreport -roofline run.json    additionally measure this host's
+//	                                 compute and bandwidth ceilings and
+//	                                 render the full roofline section
+//	                                 (ridge point, bound, utilization)
 //	perfreport -diff base.json cur.json
 //	                                 render both side by side and exit
 //	                                 non-zero if the current flop rate
@@ -23,6 +27,7 @@ import (
 func main() {
 	diff := flag.Bool("diff", false, "compare two reports: perfreport -diff base.json cur.json")
 	tol := flag.Float64("tol", 0.15, "fractional flop-rate drop tolerated by -diff before failing")
+	roofline := flag.Bool("roofline", false, "measure this host's compute/bandwidth ceilings and calibrate the roofline section")
 	flag.Parse()
 
 	if *diff {
@@ -55,6 +60,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfreport:", err)
 		os.Exit(2)
+	}
+	if *roofline && rep.Roofline != nil {
+		rep.Roofline.Calibrate(metrics.MeasurePeakFlops(), metrics.MeasurePeakBandwidth())
 	}
 	rep.Render(os.Stdout)
 }

@@ -1,18 +1,38 @@
 // Command pricecalc reproduces the paper's price/performance
 // arithmetic: Tables 1 and 2, the August-1997 rebuild price, and the
 // $/Mflop figures of merit for the headline runs.
+//
+// With -modern it re-runs Part II on present-day rented hardware: a
+// cloud-instance table (vCPU, clock, FMA width, $/hr -> peak GFLOPS,
+// hourly $/TFLOP, five-year rent), plus a measured figure -- a short
+// clustered treecode evaluation on this host, its sustained Mflops
+// priced at the five-year rent of a matching instance and printed
+// next to the paper's $50/Mflop and GRAPE-5's $7/Mflops.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"runtime"
+	"time"
 
+	"repro/internal/grav"
+	"repro/internal/ic"
+	"repro/internal/keys"
 	"repro/internal/perfmodel"
+	"repro/internal/tree"
 )
 
 func main() {
 	aug97 := flag.Bool("aug97", false, "show only the August 1997 spot-price table")
+	modern := flag.Bool("modern", false, "show the modern machine table and a measured $/Mflop on this host")
+	modernN := flag.Int("modern-n", 20000, "bodies for the -modern measured run")
 	flag.Parse()
+
+	if *modern {
+		modernStudy(*modernN)
+		return
+	}
 
 	if !*aug97 {
 		fmt.Println("Table 1: Loki architecture and price (September 1996)")
@@ -43,4 +63,65 @@ func main() {
 		fmt.Printf("  %-44s $%5.1f/Mflop (paper: %s)\n",
 			r.what, perfmodel.PricePerMflop(r.price, r.mflops), r.paper)
 	}
+}
+
+// modernStudy prints the present-day instance table and a measured
+// $/Mflop: a short clustered treecode run on this host gives a
+// sustained Mflops rate, which is priced at the five-year rent of the
+// smallest listed instance with at least GOMAXPROCS vCPUs (prorated
+// to the vCPUs actually used).
+func modernStudy(n int) {
+	fmt.Println("Modern machine table (on-demand cloud instances):")
+	fmt.Print(perfmodel.FormatModernTable(perfmodel.ModernTable))
+
+	procs := runtime.GOMAXPROCS(0)
+	mflops, inter := measureTreecode(n)
+	fmt.Printf("\nmeasured: %d-body clustered treecode on this host (%d procs)\n", n, procs)
+	fmt.Printf("  %d interactions/eval, %.0f sustained Mflops (38 flops/interaction)\n", inter, mflops)
+
+	// Smallest instance that covers this host's parallelism; fall back
+	// to the largest. The five-year rent is prorated by the vCPU
+	// fraction actually used, matching the paper's convention of
+	// pricing only the hardware the run occupied.
+	pick := perfmodel.ModernTable[0]
+	for _, m := range perfmodel.ModernTable {
+		if m.VCPU >= procs && (pick.VCPU < procs || m.VCPU < pick.VCPU) {
+			pick = m
+		}
+	}
+	frac := float64(procs) / float64(pick.VCPU)
+	if frac > 1 {
+		frac = 1
+	}
+	cost := pick.FiveYearUSD() * frac
+	perMflop := perfmodel.PricePerMflop(cost, mflops)
+	fmt.Printf("\nprice/performance, five-year rent of %d/%d vCPUs of %s ($%.0f):\n",
+		procs, pick.VCPU, pick.Name, cost)
+	fmt.Printf("  measured      $%.2f/Mflop\n", perMflop)
+	fmt.Printf("  paper (1997)  $%d/Mflop  (Loki, \"about $50/Mflop\")\n", perfmodel.PaperPerMflopUSD)
+	fmt.Printf("  GRAPE-5       $%d/Mflops (special-purpose figure the paper cites)\n", perfmodel.Grape5PerMflopUSD)
+}
+
+// measureTreecode runs force evaluations over a clustered Plummer
+// system through the concurrent pool until ~1 s has elapsed and
+// returns the sustained Mflops under the paper's 38-flop accounting,
+// plus the per-evaluation interaction count.
+func measureTreecode(n int) (mflops float64, interactions uint64) {
+	sys := ic.Plummer(n, 1.0, 42)
+	d := keys.NewDomain(sys.Pos)
+	sys.AssignKeys(d)
+	sys.SortByKey()
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-4, Quad: true}
+	tr := tree.Build(sys, d, mac, 16)
+	pool := tree.NewForcePool(0)
+	defer pool.Close()
+	ctr := pool.Gravity(tr, 1e-6) // warm-up: pool buffers reach their high-water mark
+	var flops uint64
+	start := time.Now()
+	for time.Since(start) < time.Second {
+		c := pool.Gravity(tr, 1e-6)
+		flops += c.Flops()
+	}
+	wall := time.Since(start).Seconds()
+	return float64(flops) / wall / 1e6, ctr.Interactions()
 }

@@ -37,6 +37,32 @@ const (
 	BytesPerInteractionRead = 32  // the paper's computational intensity figure
 )
 
+// Bytes-moved accounting for the tiled kernels (internal/grav), the
+// denominator of the roofline's arithmetic intensity. The tiled sweeps
+// share each 32-byte source row (x,y,z,m) across a block of 4 targets,
+// so the memory traffic charged per interaction is the row divided by
+// the block height; target rows and accumulators stay in registers for
+// a whole sweep and the tile scratch is L1-resident, so neither is
+// charged against DRAM bandwidth.
+const (
+	// BytesPerPPInteraction: 32-byte body source row / 4-target block.
+	BytesPerPPInteraction = 8
+	// BytesPerPCInteraction: 32-byte monopole row (cm,cx,cy,cz) / 4.
+	BytesPerPCInteraction = 8
+	// BytesPerQuadPCExtra: the six 8-byte quadrupole columns / 4,
+	// charged on top of BytesPerPCInteraction when quad terms run.
+	BytesPerQuadPCExtra = 12
+)
+
+// KernelBytes returns the bytes moved through the interaction kernels
+// under the accounting above: the roofline denominator paired with
+// Flops as the numerator.
+func (c *Counters) KernelBytes() uint64 {
+	return c.PP*BytesPerPPInteraction +
+		c.PC*BytesPerPCInteraction +
+		c.QuadPC*BytesPerQuadPCExtra
+}
+
 // Add accumulates other into c.
 func (c *Counters) Add(other Counters) {
 	c.PP += other.PP

@@ -6,19 +6,22 @@
 // touching the tree, the hash table, or any AoS accumulator in the
 // inner loop.
 //
-// Each kernel is a three-sweep pipeline per target: distances into a
-// scratch column, one batched Karp reciprocal-square-root sweep
-// (karpSweep -- the same table seed and two Newton iterations as
-// rsqrt.Rsqrt, inlined into a dependence-free loop so iterations
-// overlap), then the force application with the target's four
-// accumulators held in registers. Interaction counts, and hence the
-// 38-flop accounting in internal/diag, are identical to the fused
-// kernels'.
+// Two kernel sets evaluate a list. The production EvalPP/EvalSelf/
+// EvalM2P (tiled.go) are tile-fused sweeps: sources stream in tiles
+// of tileSources per target, with the distance, the inlined Karp
+// rsqrt, and the force fused into one pass per tile so every
+// intermediate stays in registers, and the self-interaction walks
+// each unordered pair once. The EvalPPRef/EvalSelfRef/EvalM2PRef
+// kernels in this file are the original three-sweep pipeline -- full-length
+// distance column, one batched rsqrt.Sweep, then the accumulate pass
+// recomputing the differences -- kept as the ablation baseline and
+// the independent implementation the equivalence tests pin the tiled
+// path against. Both report identical interaction counts (and hence
+// identical 38-flop accounting in internal/diag) and agree to
+// roundoff; engines choose a set with Impl.
 package grav
 
 import (
-	"math"
-
 	"repro/internal/rsqrt"
 	"repro/internal/vec"
 )
@@ -142,7 +145,14 @@ func (l *InteractionList) Cell(i int) Multipole {
 type Targets struct {
 	X, Y, Z, M      []float64
 	AX, AY, AZ, Pot []float64
-	r2, ri          []float64
+	// r2, ri are the full-length scratch columns of the reference
+	// three-sweep pipeline; the fused tiled kernels keep their
+	// per-interaction intermediates in registers and need no scratch.
+	r2, ri []float64
+	// snap backs up the accumulator columns across EvalSelf's
+	// symmetric fast path, which scatters as it goes and must be able
+	// to unwind if a special r2 forces the slow redo.
+	snap []float64
 }
 
 // growF returns s resized to n, reusing capacity.
@@ -201,52 +211,14 @@ func (t *Targets) Grow(ntargets, nscratch int) {
 	growCap(&t.ri, nscratch)
 }
 
-// karpSweep fills dst with the Karp reciprocal square root of each
-// src element: the table seed plus two Newton iterations of
-// rsqrt.Rsqrt inlined into one loop, bit-identical to calling Rsqrt
-// per element. Iterations are independent, so the ~20-cycle seed and
-// Newton dependence chains of consecutive elements overlap -- this is
-// where the batched pipeline beats calling the (non-inlinable)
-// scalar routine once per interaction. Special arguments (zero,
-// subnormal, infinite, NaN) take the scalar fallback.
-// oddFold multiplies the mantissa by 1 or 2 depending on exponent
-// parity; a table load instead of a branch, because the parity is
-// effectively random across interactions and a branch there costs a
-// mispredict on half of them.
-var oddFold = [2]float64{1, 2}
-
-func karpSweep(dst, src []float64) {
-	c0, c1, c2 := rsqrt.SeedTables()
-	dst = dst[:len(src)]
-	for i, x := range src {
-		b := math.Float64bits(x)
-		e := int(b >> 52)
-		if e == 0 || e >= 0x7FF {
-			dst[i] = rsqrt.Rsqrt(x) // zero, subnormal, negative, Inf, NaN
-			continue
-		}
-		e -= 1023
-		odd := e & 1
-		e -= odd
-		m := math.Float64frombits(b&0x000FFFFFFFFFFFFF|0x3FF0000000000000) * oddFold[odd]
-		k := int((m - 1.0) * (1.0 / rsqrt.IntervalWidth))
-		if k >= rsqrt.TableSize {
-			k = rsqrt.TableSize - 1
-		}
-		t := m - (1.0 + float64(k)*rsqrt.IntervalWidth)
-		y := c0[k] + t*(c1[k]+t*c2[k])
-		y = y * (1.5 - 0.5*m*y*y)
-		y = y * (1.5 - 0.5*m*y*y)
-		dst[i] = y * math.Float64frombits(uint64(-e/2+1023)<<52)
-	}
-}
-
-// EvalPP applies every body source of the list to every target: the
-// batched form of PPTile. Target-major: the target position and its
-// four accumulators stay in registers across the whole source sweep,
-// and the sources stream from four contiguous columns. Returns the
-// interaction count.
-func EvalPP(t *Targets, l *InteractionList, eps2 float64) uint64 {
+// EvalPPRef applies every body source of the list to every target:
+// the batched form of PPTile, in the original three-sweep layout.
+// Target-major: the target position and its four accumulators stay in
+// registers across the whole source sweep, and the sources stream
+// from four contiguous columns. The full-length r2/ri scratch and the
+// recomputed differences are what the tiled EvalPP eliminates; this
+// version is the ablation baseline. Returns the interaction count.
+func EvalPPRef(t *Targets, l *InteractionList, eps2 float64) uint64 {
 	ns := len(l.SM)
 	nt := len(t.X)
 	if ns == 0 || nt == 0 {
@@ -263,7 +235,7 @@ func EvalPP(t *Targets, l *InteractionList, eps2 float64) uint64 {
 			dz := sz[j] - zi
 			r2[j] = dx*dx + dy*dy + dz*dz + eps2
 		}
-		karpSweep(t.ri, r2)
+		rsqrt.Sweep(t.ri, r2)
 		ax, ay, az := t.AX[i], t.AY[i], t.AZ[i]
 		p := t.Pot[i]
 		ri := t.ri
@@ -284,12 +256,15 @@ func EvalPP(t *Targets, l *InteractionList, eps2 float64) uint64 {
 	return uint64(nt) * uint64(ns)
 }
 
-// EvalSelf evaluates the group's interaction with itself (both
+// EvalSelfRef evaluates the group's interaction with itself (both
 // directions of every pair, self-pairs skipped): the batched form of
-// PPSelf, reading sources from the target block's own columns.
-// Targets must have been loaded with masses. Returns the interaction
-// count.
-func EvalSelf(t *Targets, eps2 float64) uint64 {
+// PPSelf, reading sources from the target block's own columns, in the
+// original three-sweep layout. The r2[i] = 1 sentinel below keeps the
+// skipped self slot off rsqrt.Sweep's zero fallback path; the tiled
+// EvalSelf instead splits the self tile and never forms the slot at
+// all. Targets must have been loaded with masses. Returns the
+// interaction count.
+func EvalSelfRef(t *Targets, eps2 float64) uint64 {
 	n := len(t.X)
 	if n == 0 {
 		return 0
@@ -305,7 +280,7 @@ func EvalSelf(t *Targets, eps2 float64) uint64 {
 			r2[j] = dx*dx + dy*dy + dz*dz + eps2
 		}
 		r2[i] = 1 // keep the skipped self slot off the fallback path
-		karpSweep(t.ri, r2)
+		rsqrt.Sweep(t.ri, r2)
 		ax, ay, az := t.AX[i], t.AY[i], t.AZ[i]
 		p := t.Pot[i]
 		for j := 0; j < n; j++ {
@@ -328,11 +303,11 @@ func EvalSelf(t *Targets, eps2 float64) uint64 {
 	return uint64(n) * uint64(n-1)
 }
 
-// EvalM2P applies every multipole of the list's slab to every target:
-// the batched form of M2P, with the same pipeline as EvalPP and the
-// quad branch hoisted out of the sweeps. Returns the interaction
-// count (one per target per cell).
-func EvalM2P(t *Targets, l *InteractionList, quad bool, eps2 float64) uint64 {
+// EvalM2PRef applies every multipole of the list's slab to every
+// target: the batched form of M2P in the original three-sweep layout,
+// with the quad branch hoisted out of the sweeps. Returns the
+// interaction count (one per target per cell).
+func EvalM2PRef(t *Targets, l *InteractionList, quad bool, eps2 float64) uint64 {
 	nc := len(l.CM)
 	nt := len(t.X)
 	if nc == 0 || nt == 0 {
@@ -349,7 +324,7 @@ func EvalM2P(t *Targets, l *InteractionList, quad bool, eps2 float64) uint64 {
 			dz := zi - cz[c]
 			r2[c] = dx*dx + dy*dy + dz*dz + eps2
 		}
-		karpSweep(t.ri, r2)
+		rsqrt.Sweep(t.ri, r2)
 		ax, ay, az := t.AX[i], t.AY[i], t.AZ[i]
 		p := t.Pot[i]
 		ri := t.ri

@@ -1,0 +1,524 @@
+// Tiled, fused interaction kernels: the production
+// EvalPP/EvalSelf/EvalM2P. The reference kernels (soa.go) make three
+// full-length passes over the source columns per target -- squared
+// distances into a scratch column, one batched rsqrt.Sweep, then the
+// force application -- so every interaction's intermediates take a
+// store/load round trip through the scratch and the differences are
+// computed twice. Here the whole pipeline is fused into a single pass
+// over bounded source tiles:
+//
+//   - the Karp reciprocal-square-root body is inlined between the
+//     distance and the force of each interaction using the fused seed
+//     table (rsqrt.FusedTable): the interval index comes straight
+//     from r2's bit pattern, the Chebyshev quadratic is fit in the
+//     unfolded mantissa with the binade fold baked into the
+//     coefficients, and the finer per-binade grid lets a SINGLE
+//     Newton iteration reach full double precision -- a whole Newton
+//     step (four multiply/adds), the mantissa fold, the float->int
+//     conversion, and the clamp cheaper per interaction than
+//     rsqrt.Sweep, on the port-saturated floating-point side where
+//     the cycles actually go;
+//   - dx/dy/dz/r2/rinv live only in registers: nothing is staged to
+//     memory between passes, which removes five stores and four loads
+//     per interaction compared to the three-sweep layout;
+//   - the final scale by 2^(-e/2) is an integer add into the
+//     exponent field (exact, identical to the multiply), keeping it
+//     off the floating-point ports entirely;
+//   - sources stream in tiles of tileSources, keeping the active
+//     source columns L1-resident and the per-target accumulators in
+//     locals while a target sweeps them;
+//   - the self-interaction kernel walks each unordered pair once and
+//     scatters the force to both bodies, halving the distance+rsqrt
+//     work relative to the reference's full n^2 sweep;
+//   - inner loops run over slices re-sliced to one shared length and
+//     index the seed table through a masked index, so the compiler's
+//     prove pass eliminates the in-loop bounds checks -- all of them
+//     in the pair sweeps, all but one per unrolled iteration in the
+//     tile sweep, whose step-2 induction the prover cannot follow.
+//     The -d=ssa/check_bce guard in scripts/check.sh pins the hot
+//     loops to exactly that set.
+//
+// The tiled kernels perform exactly the interactions the reference
+// kernels do (counts are equal exactly), but not bit-identically: the
+// one-Newton fused seed agrees with the two-Newton canonical Rsqrt to
+// a couple of ulps (both are within ~1 ulp of exact), and per-target
+// sums associate per tile. Forces therefore agree to roundoff --
+// the equivalence tests pin |da|/max|a| and relative potential at
+// 1e-13 -- which is what the physics defines; bit-identity is only
+// ever guaranteed between runs of the SAME kernel set, which is why
+// engines pin one Impl for a whole run.
+package grav
+
+import (
+	"math"
+
+	"repro/internal/rsqrt"
+)
+
+// tileSources bounds the fused tile length, keeping a tile's four
+// source columns (2 KB) hot in L1 while a target sweeps them.
+const tileSources = 64
+
+// Impl selects a kernel implementation. Engines carry one Impl and
+// pin every evaluation to it, so cross-engine equivalence tests
+// compare runs that used the same kernel set throughout.
+type Impl int
+
+const (
+	// ImplTiled is the production fused path.
+	ImplTiled Impl = iota
+	// ImplRef is the reference three-sweep path (soa.go), kept as the
+	// ablation baseline.
+	ImplRef
+)
+
+// EvalPP dispatches to the implementation's body-body kernel.
+func (im Impl) EvalPP(t *Targets, l *InteractionList, eps2 float64) uint64 {
+	if im == ImplRef {
+		return EvalPPRef(t, l, eps2)
+	}
+	return EvalPP(t, l, eps2)
+}
+
+// EvalSelf dispatches to the implementation's self-interaction kernel.
+func (im Impl) EvalSelf(t *Targets, eps2 float64) uint64 {
+	if im == ImplRef {
+		return EvalSelfRef(t, eps2)
+	}
+	return EvalSelf(t, eps2)
+}
+
+// EvalM2P dispatches to the implementation's multipole kernel.
+func (im Impl) EvalM2P(t *Targets, l *InteractionList, quad bool, eps2 float64) uint64 {
+	if im == ImplRef {
+		return EvalM2PRef(t, l, quad, eps2)
+	}
+	return EvalM2P(t, l, quad, eps2)
+}
+
+func (im Impl) String() string {
+	if im == ImplRef {
+		return "ref"
+	}
+	return "tiled"
+}
+
+// ppTile is the fused pipeline for one target against one source
+// tile: per source element, distance, inlined Karp rsqrt (fused seed,
+// one Newton), and force accumulate, every intermediate in registers.
+//
+// Special r2 values (zero, subnormal, Inf, NaN) cannot be handled by
+// an in-loop fallback call computing that element's rv: a CALL whose
+// result feeds the loop-carried accumulators makes the compiler
+// spill the accumulators, the differences, and the loop index to the
+// stack on every iteration -- ten-plus memory operations per
+// interaction for a branch that never executes. Instead a special
+// abandons the tile's partial sums entirely and recomputes the whole
+// tile through the out-of-line slow path: the accumulators are dead
+// at the branch, so the hot loop carries no extra registers. A tile
+// is at most tileSources elements and specials essentially never
+// occur, so the redo is free in expectation.
+// The loop is unrolled two sources deep: the two elements'
+// seed+Newton dependence chains are independent and interleave in
+// the out-of-order window, and the unroll halves the loop-control
+// and constant-rematerialization overhead per interaction.
+func ppTile(xi, yi, zi float64, sx, sy, sz, sm []float64, eps2 float64) (ax, ay, az, p float64) {
+	seed := rsqrt.FusedTable()
+	n := len(sx)
+	// Re-slicing all four columns to the one shared length (sx's own
+	// re-slice is a no-op) hands the prove pass the bounds it needs.
+	sx, sy, sz, sm = sx[:n], sy[:n], sz[:n], sm[:n]
+	// Each unrolled element feeds its own accumulator set (combined on
+	// exit), so the loop-carried add chains are one ADDSD per
+	// iteration instead of two back to back.
+	var bx, by, bz, q float64
+	// The pair loop steps by two, which the prove pass cannot follow
+	// as an induction variable, so the first access each iteration
+	// keeps its bounds check; hoisting n-1 into the loop bound lets
+	// every later access be eliminated against that one check. One
+	// compare-and-branch per two interactions is the floor this loop
+	// shape admits (the check.sh BCE guard pins it there).
+	for j, e := 0, n-1; j < e; j += 2 {
+		dx0 := sx[j] - xi
+		dy0 := sy[j] - yi
+		dz0 := sz[j] - zi
+		r20 := dx0*dx0 + dy0*dy0 + dz0*dz0 + eps2
+		b0 := math.Float64bits(r20)
+		dx1 := sx[j+1] - xi
+		dy1 := sy[j+1] - yi
+		dz1 := sz[j+1] - zi
+		r21 := dx1*dx1 + dy1*dy1 + dz1*dz1 + eps2
+		b1 := math.Float64bits(r21)
+		if (b0>>52)-1 >= 0x7FE || (b1>>52)-1 >= 0x7FE {
+			// zero, subnormal, Inf, NaN: abandon the garbage partial
+			// sums and redo the tile. Returning here (rather than
+			// setting a flag) keeps the hot loop free of both the
+			// flag register and the end-of-loop check: at this point
+			// the accumulators are dead, so the never-taken branch
+			// costs one fused compare-and-jump per element and no
+			// spills.
+			return ppTileSlow(xi, yi, zi, sx, sy, sz, sm, eps2)
+		}
+		be0 := int(b0 >> 52)
+		k0 := int(b0>>rsqrt.FusedShift) & (rsqrt.FusedTableSize - 1)
+		tf0 := float64(b0 << (64 - rsqrt.FusedShift) >> (64 - rsqrt.FusedShift))
+		cf0 := &seed[k0]
+		w0 := cf0.C0 + tf0*(cf0.C1+tf0*cf0.C2)
+		w0 = w0 * (1.5 - (cf0.D+cf0.E*tf0)*(w0*w0))
+		rv0 := math.Float64frombits(math.Float64bits(w0) + uint64((1023+(be0&1^1)-be0)>>1)<<52)
+		be1 := int(b1 >> 52)
+		k1 := int(b1>>rsqrt.FusedShift) & (rsqrt.FusedTableSize - 1)
+		tf1 := float64(b1 << (64 - rsqrt.FusedShift) >> (64 - rsqrt.FusedShift))
+		cf1 := &seed[k1]
+		w1 := cf1.C0 + tf1*(cf1.C1+tf1*cf1.C2)
+		w1 = w1 * (1.5 - (cf1.D+cf1.E*tf1)*(w1*w1))
+		rv1 := math.Float64frombits(math.Float64bits(w1) + uint64((1023+(be1&1^1)-be1)>>1)<<52)
+		mrv0 := sm[j] * rv0
+		rin30 := mrv0 * (rv0 * rv0)
+		mrv1 := sm[j+1] * rv1
+		rin31 := mrv1 * (rv1 * rv1)
+		ax += rin30 * dx0
+		ay += rin30 * dy0
+		az += rin30 * dz0
+		p -= mrv0
+		bx += rin31 * dx1
+		by += rin31 * dy1
+		bz += rin31 * dz1
+		q -= mrv1
+	}
+	ax, ay, az, p = ax+bx, ay+by, az+bz, p+q
+	// The unrolled loop exits at the first even index with no pair
+	// left, which is n with the low bit cleared: the odd tail element.
+	for j := n &^ 1; j < n; j++ {
+		dx := sx[j] - xi
+		dy := sy[j] - yi
+		dz := sz[j] - zi
+		r2 := dx*dx + dy*dy + dz*dz + eps2
+		b := math.Float64bits(r2)
+		if (b>>52)-1 >= 0x7FE {
+			return ppTileSlow(xi, yi, zi, sx, sy, sz, sm, eps2)
+		}
+		be := int(b >> 52)
+		k := int(b>>rsqrt.FusedShift) & (rsqrt.FusedTableSize - 1)
+		tf := float64(b << (64 - rsqrt.FusedShift) >> (64 - rsqrt.FusedShift))
+		cf := &seed[k]
+		w := cf.C0 + tf*(cf.C1+tf*cf.C2)
+		w = w * (1.5 - (cf.D+cf.E*tf)*(w*w))
+		rv := math.Float64frombits(math.Float64bits(w) + uint64((1023+(be&1^1)-be)>>1)<<52)
+		mrv := sm[j] * rv
+		rin3 := mrv * (rv * rv)
+		ax += rin3 * dx
+		ay += rin3 * dy
+		az += rin3 * dz
+		p -= mrv
+	}
+	return
+}
+
+// ppTileSlow is ppTile with the per-element scalar fallback: the redo
+// path for tiles that contained a special r2. Semantics match the
+// reference kernels' rsqrt.Sweep exactly (same Rsqrt fallback).
+//
+//go:noinline
+func ppTileSlow(xi, yi, zi float64, sx, sy, sz, sm []float64, eps2 float64) (ax, ay, az, p float64) {
+	n := len(sx)
+	sy, sz, sm = sy[:n], sz[:n], sm[:n]
+	for j := range sx {
+		dx := sx[j] - xi
+		dy := sy[j] - yi
+		dz := sz[j] - zi
+		r2 := dx*dx + dy*dy + dz*dz + eps2
+		rv := rsqrt.RsqrtFused(r2)
+		mrv := sm[j] * rv
+		rin3 := mrv * (rv * rv)
+		ax += rin3 * dx
+		ay += rin3 * dy
+		az += rin3 * dz
+		p -= mrv
+	}
+	return
+}
+
+// EvalPP applies every body source of the list to every target: the
+// fused, tiled form of PPTile. Returns the interaction count.
+func EvalPP(t *Targets, l *InteractionList, eps2 float64) uint64 {
+	ns := len(l.SM)
+	nt := len(t.X)
+	if ns == 0 || nt == 0 {
+		return 0
+	}
+	for i := 0; i < nt; i++ {
+		for s0 := 0; s0 < ns; s0 += tileSources {
+			n := ns - s0
+			if n > tileSources {
+				n = tileSources
+			}
+			ax, ay, az, p := ppTile(t.X[i], t.Y[i], t.Z[i],
+				l.SX[s0:s0+n], l.SY[s0:s0+n], l.SZ[s0:s0+n], l.SM[s0:s0+n], eps2)
+			t.AX[i] += ax
+			t.AY[i] += ay
+			t.AZ[i] += az
+			t.Pot[i] += p
+		}
+	}
+	return uint64(nt) * uint64(ns)
+}
+
+// EvalSelf evaluates the group's interaction with itself (both
+// directions of every pair, self-pairs skipped). Unlike the reference
+// kernel, which sweeps all n sources for each of the n targets and
+// masks the diagonal with an r2 sentinel, this walks each unordered
+// pair (i,j), j < i, exactly once: one distance and one Karp rsqrt
+// feed both directions, with +m_j*rinv3*d accumulated into target i's
+// locals and -m_i*rinv3*d scattered into body j's output slots. The
+// self pair simply never appears in the enumeration, so no sentinel
+// value exists to leak into the pipeline -- a body exactly coincident
+// with another (r2 = eps2, the smallest value the pipeline can see)
+// goes through the ordinary fast path. Groups are leaf buckets (tens
+// of bodies), so the columns stay L1-resident without tiling.
+//
+// Specials take the same abandon-and-redo route as ppTile, with one
+// twist: the pair symmetry scatters into the output columns as it
+// goes, so the partial garbage cannot simply be dropped on the floor.
+// The accumulator columns are snapshotted first (4n copies, O(n)
+// against the O(n^2) pair work), and a special restores them before
+// the slow redo. Targets must have been loaded with masses. Returns
+// the interaction count, still n*(n-1): the physical interactions are
+// the same, each is just computed once instead of twice.
+func EvalSelf(t *Targets, eps2 float64) uint64 {
+	n := len(t.X)
+	if n == 0 {
+		return 0
+	}
+	t.snap = growF(t.snap, 4*n)
+	copy(t.snap[0:n], t.AX)
+	copy(t.snap[n:2*n], t.AY)
+	copy(t.snap[2*n:3*n], t.AZ)
+	copy(t.snap[3*n:4*n], t.Pot)
+	if evalSelfFast(t, eps2) {
+		return uint64(n) * uint64(n-1)
+	}
+	// A special r2 appeared: the fast path scattered garbage partial
+	// sums into the accumulators. Restore and redo slowly.
+	copy(t.AX, t.snap[0:n])
+	copy(t.AY, t.snap[n:2*n])
+	copy(t.AZ, t.snap[2*n:3*n])
+	copy(t.Pot, t.snap[3*n:4*n])
+	evalSelfSlow(t, eps2)
+	return uint64(n) * uint64(n-1)
+}
+
+// evalSelfFast is the call-free symmetric pair sweep; it reports
+// false as soon as any pair's r2 is special (zero, subnormal, Inf,
+// NaN), leaving the accumulators polluted for EvalSelf to restore.
+func evalSelfFast(t *Targets, eps2 float64) bool {
+	n := len(t.X)
+	x, y, z, ms := t.X[:n], t.Y[:n], t.Z[:n], t.M[:n]
+	ax, ay, az, pot := t.AX[:n], t.AY[:n], t.AZ[:n], t.Pot[:n]
+	seed := rsqrt.FusedTable()
+	for i := 1; i < n; i++ {
+		xi, yi, zi, mi := x[i], y[i], z[i], ms[i]
+		var axi, ayi, azi, pi float64
+		for j := 0; j < i; j++ {
+			dx := x[j] - xi
+			dy := y[j] - yi
+			dz := z[j] - zi
+			r2 := dx*dx + dy*dy + dz*dz + eps2
+			b := math.Float64bits(r2)
+			if (b>>52)-1 >= 0x7FE {
+				return false
+			}
+			be := int(b >> 52)
+			k := int(b>>rsqrt.FusedShift) & (rsqrt.FusedTableSize - 1)
+			tf := float64(b << (64 - rsqrt.FusedShift) >> (64 - rsqrt.FusedShift))
+			cf := &seed[k]
+			w := cf.C0 + tf*(cf.C1+tf*cf.C2)
+			w = w * (1.5 - (cf.D+cf.E*tf)*(w*w))
+			rv := math.Float64frombits(math.Float64bits(w) + uint64((1023+(be&1^1)-be)>>1)<<52)
+			rv2 := rv * rv
+			mjrv := ms[j] * rv
+			mirv := mi * rv
+			fj := mjrv * rv2
+			fi := mirv * rv2
+			axi += fj * dx
+			ayi += fj * dy
+			azi += fj * dz
+			pi -= mjrv
+			ax[j] -= fi * dx
+			ay[j] -= fi * dy
+			az[j] -= fi * dz
+			pot[j] -= mirv
+		}
+		ax[i] += axi
+		ay[i] += ayi
+		az[i] += azi
+		pot[i] += pi
+	}
+	return true
+}
+
+// evalSelfSlow is the symmetric pair sweep with the per-pair scalar
+// fallback: the redo path when the group contained a special r2.
+//
+//go:noinline
+func evalSelfSlow(t *Targets, eps2 float64) {
+	n := len(t.X)
+	x, y, z, ms := t.X[:n], t.Y[:n], t.Z[:n], t.M[:n]
+	ax, ay, az, pot := t.AX[:n], t.AY[:n], t.AZ[:n], t.Pot[:n]
+	for i := 1; i < n; i++ {
+		xi, yi, zi, mi := x[i], y[i], z[i], ms[i]
+		var axi, ayi, azi, pi float64
+		for j := 0; j < i; j++ {
+			dx := x[j] - xi
+			dy := y[j] - yi
+			dz := z[j] - zi
+			r2 := dx*dx + dy*dy + dz*dz + eps2
+			rv := rsqrt.RsqrtFused(r2)
+			rv2 := rv * rv
+			mjrv := ms[j] * rv
+			mirv := mi * rv
+			fj := mjrv * rv2
+			fi := mirv * rv2
+			axi += fj * dx
+			ayi += fj * dy
+			azi += fj * dz
+			pi -= mjrv
+			ax[j] -= fi * dx
+			ay[j] -= fi * dy
+			az[j] -= fi * dz
+			pot[j] -= mirv
+		}
+		ax[i] += axi
+		ay[i] += ayi
+		az[i] += azi
+		pot[i] += pi
+	}
+}
+
+// m2pQuadTile is the fused monopole+quadrupole pipeline for a single
+// target against one cell tile: distance, inlined Karp rsqrt, and the
+// quadrupole force in one pass. The difference d points from target
+// to cell COM; the quadrupole terms are expressed in d directly
+// (Q.d flips sign with d, d.Q.d does not), so the force matches the
+// reference kernel's to roundoff without re-differencing.
+func m2pQuadTile(xi, yi, zi float64, cm, cx, cy, cz, qxx, qyy, qzz, qxy, qxz, qyz []float64, eps2 float64) (ax, ay, az, p float64) {
+	seed := rsqrt.FusedTable()
+	n := len(cm)
+	cx, cy, cz = cx[:n], cy[:n], cz[:n]
+	qxx, qyy, qzz = qxx[:n], qyy[:n], qzz[:n]
+	qxy, qxz, qyz = qxy[:n], qxz[:n], qyz[:n]
+	for j := range cm {
+		da := cx[j] - xi
+		db := cy[j] - yi
+		dc := cz[j] - zi
+		r2 := da*da + db*db + dc*dc + eps2
+		b := math.Float64bits(r2)
+		if (b>>52)-1 >= 0x7FE {
+			// Special r2: redo the tile slowly (see ppTile).
+			return m2pQuadTileSlow(xi, yi, zi, cm, cx, cy, cz, qxx, qyy, qzz, qxy, qxz, qyz, eps2)
+		}
+		be := int(b >> 52)
+		k := int(b>>rsqrt.FusedShift) & (rsqrt.FusedTableSize - 1)
+		tf := float64(b << (64 - rsqrt.FusedShift) >> (64 - rsqrt.FusedShift))
+		cf := &seed[k]
+		w := cf.C0 + tf*(cf.C1+tf*cf.C2)
+		w = w * (1.5 - (cf.D+cf.E*tf)*(w*w))
+		rv := math.Float64frombits(math.Float64bits(w) + uint64((1023+(be&1^1)-be)>>1)<<52)
+		rv2 := rv * rv
+		rv3 := rv * rv2
+		mono := cm[j] * rv3
+		qdx := qxx[j]*da + qxy[j]*db + qxz[j]*dc
+		qdy := qxy[j]*da + qyy[j]*db + qyz[j]*dc
+		qdz := qxz[j]*da + qyz[j]*db + qzz[j]*dc
+		dqd := da*qdx + db*qdy + dc*qdz
+		rv5 := rv3 * rv2
+		rv7 := rv5 * rv2
+		cc := 2.5 * dqd * rv7
+		ax += (mono+cc)*da - qdx*rv5
+		ay += (mono+cc)*db - qdy*rv5
+		az += (mono+cc)*dc - qdz*rv5
+		p -= cm[j]*rv + 0.5*dqd*rv5
+	}
+	return
+}
+
+// m2pQuadTileSlow is the redo path for quad tiles that contained a
+// special r2, mirroring ppTileSlow.
+//
+//go:noinline
+func m2pQuadTileSlow(xi, yi, zi float64, cm, cx, cy, cz, qxx, qyy, qzz, qxy, qxz, qyz []float64, eps2 float64) (ax, ay, az, p float64) {
+	n := len(cm)
+	cx, cy, cz = cx[:n], cy[:n], cz[:n]
+	qxx, qyy, qzz = qxx[:n], qyy[:n], qzz[:n]
+	qxy, qxz, qyz = qxy[:n], qxz[:n], qyz[:n]
+	for j := range cm {
+		da := cx[j] - xi
+		db := cy[j] - yi
+		dc := cz[j] - zi
+		r2 := da*da + db*db + dc*dc + eps2
+		rv := rsqrt.RsqrtFused(r2)
+		rv2 := rv * rv
+		rv3 := rv * rv2
+		mono := cm[j] * rv3
+		qdx := qxx[j]*da + qxy[j]*db + qxz[j]*dc
+		qdy := qxy[j]*da + qyy[j]*db + qyz[j]*dc
+		qdz := qxz[j]*da + qyz[j]*db + qzz[j]*dc
+		dqd := da*qdx + db*qdy + dc*qdz
+		rv5 := rv3 * rv2
+		rv7 := rv5 * rv2
+		cc := 2.5 * dqd * rv7
+		ax += (mono+cc)*da - qdx*rv5
+		ay += (mono+cc)*db - qdy*rv5
+		az += (mono+cc)*dc - qdz*rv5
+		p -= cm[j]*rv + 0.5*dqd*rv5
+	}
+	return
+}
+
+// EvalM2P applies every multipole of the list's slab to every target:
+// the fused form of M2P, with the quad branch hoisted all the way out
+// of the tile loops. With the difference taken as COM - target the
+// monopole interaction is the body-body interaction with the cell
+// columns as sources, so the monopole path reuses ppTile.
+// Returns the interaction count (one per target per cell).
+func EvalM2P(t *Targets, l *InteractionList, quad bool, eps2 float64) uint64 {
+	nc := len(l.CM)
+	nt := len(t.X)
+	if nc == 0 || nt == 0 {
+		return 0
+	}
+	if !quad {
+		for i := 0; i < nt; i++ {
+			for c0 := 0; c0 < nc; c0 += tileSources {
+				n := nc - c0
+				if n > tileSources {
+					n = tileSources
+				}
+				ax, ay, az, p := ppTile(t.X[i], t.Y[i], t.Z[i],
+					l.CX[c0:c0+n], l.CY[c0:c0+n], l.CZ[c0:c0+n], l.CM[c0:c0+n], eps2)
+				t.AX[i] += ax
+				t.AY[i] += ay
+				t.AZ[i] += az
+				t.Pot[i] += p
+			}
+		}
+		return uint64(nt) * uint64(nc)
+	}
+	for i := 0; i < nt; i++ {
+		for c0 := 0; c0 < nc; c0 += tileSources {
+			n := nc - c0
+			if n > tileSources {
+				n = tileSources
+			}
+			ax, ay, az, p := m2pQuadTile(t.X[i], t.Y[i], t.Z[i],
+				l.CM[c0:c0+n], l.CX[c0:c0+n], l.CY[c0:c0+n], l.CZ[c0:c0+n],
+				l.QXX[c0:c0+n], l.QYY[c0:c0+n], l.QZZ[c0:c0+n],
+				l.QXY[c0:c0+n], l.QXZ[c0:c0+n], l.QYZ[c0:c0+n], eps2)
+			t.AX[i] += ax
+			t.AY[i] += ay
+			t.AZ[i] += az
+			t.Pot[i] += p
+		}
+	}
+	return uint64(nt) * uint64(nc)
+}

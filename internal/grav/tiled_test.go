@@ -1,0 +1,140 @@
+package grav
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// evalSelfBoth runs one self-evaluation through the given
+// implementation and returns the scattered results.
+func evalSelfImpl(im Impl, pos []vec.V3, mass []float64, eps2 float64) ([]vec.V3, []float64, uint64) {
+	var tg Targets
+	tg.Load(pos, mass)
+	n := im.EvalSelf(&tg, eps2)
+	acc := make([]vec.V3, len(pos))
+	pot := make([]float64, len(pos))
+	tg.Store(acc, pot)
+	return acc, pot, n
+}
+
+// accScale returns the magnitude the 1e-13 force comparisons are
+// relative to: the largest acceleration in the reference set. A
+// per-component relative comparison would amplify benign per-element
+// rounding whenever components cancel to near zero, so forces are
+// compared at force scale, the guarantee the kernels actually make.
+func accScale(acc []vec.V3) float64 {
+	s := 0.0
+	for _, a := range acc {
+		if v := a.Norm(); v > s {
+			s = v
+		}
+	}
+	return s
+}
+
+// The tiled EvalSelf masks the self slot by splitting the self tile at
+// that column instead of forming the reference kernels' r2 sentinel.
+// This test pins the regression the sentinel made possible: bodies
+// exactly coincident with another body (r2 = eps2, the smallest value
+// the pipeline can see) must come out identical to PPSelf under both
+// implementations, at sizes that place the self column at every tile
+// edge: first/last column of a tile, single-column tiles, and blocks
+// that straddle the tileSources boundary.
+func TestEvalSelfCoincidentBodiesAtTileEdges(t *testing.T) {
+	eps2 := 1e-4
+	for _, n := range []int{1, 2, 3, 4, 5, 7, tileSources - 1, tileSources, tileSources + 1,
+		tileSources + 2, 2*tileSources - 1, 2 * tileSources, 2*tileSources + 2} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		pos, mass := randBodies(rng, n)
+		// Coincident pairs, placed to cross tile edges: the first two
+		// bodies, and the pair straddling the first tile boundary.
+		if n >= 2 {
+			pos[1] = pos[0]
+		}
+		if n > tileSources {
+			pos[tileSources] = pos[tileSources-1]
+		}
+
+		accRef := make([]vec.V3, n)
+		potRef := make([]float64, n)
+		nRef := PPSelf(pos, mass, accRef, potRef, eps2)
+
+		for _, im := range []Impl{ImplTiled, ImplRef} {
+			acc, pot, got := evalSelfImpl(im, pos, mass, eps2)
+			if got != nRef {
+				t.Fatalf("n=%d %v: count %d, PPSelf %d", n, im, got, nRef)
+			}
+			scale := accScale(accRef)
+			for i := range acc {
+				if math.IsNaN(acc[i].X) || math.IsInf(acc[i].X, 0) {
+					t.Fatalf("n=%d %v body %d: non-finite acceleration %v", n, im, i, acc[i])
+				}
+				if acc[i].Sub(accRef[i]).Norm() > 1e-13*scale ||
+					relDiff(pot[i], potRef[i]) > 1e-13 {
+					t.Fatalf("n=%d %v body %d: %v/%g, PPSelf %v/%g",
+						n, im, i, acc[i], pot[i], accRef[i], potRef[i])
+				}
+			}
+		}
+	}
+}
+
+// The two kernel sets must agree to roundoff across a full mixed
+// evaluation (multipoles + foreign bodies + self) with identical
+// counts, at sizes exercising partial tiles on every loop.
+func TestImplTiledMatchesRefMixedList(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	eps2 := 1e-6
+	for _, nt := range []int{1, 3, 4, 5, 16, 67} {
+		tpos, tmass := randBodies(rng, nt)
+		spos, smass := randBodies(rng, 150)
+		var cells []Multipole
+		for c := 0; c < 70; c++ {
+			cpos, cmass := randBodies(rng, 8)
+			off := vec.V3{X: 5 * float64(c+2), Y: 3, Z: -2}
+			for i := range cpos {
+				cpos[i] = cpos[i].Add(off)
+			}
+			cells = append(cells, FromBodies(cpos, cmass))
+		}
+		run := func(im Impl) ([]vec.V3, []float64, uint64) {
+			var tg Targets
+			tg.Load(tpos, tmass)
+			var l InteractionList
+			l.AddBodies(spos, smass)
+			for c := range cells {
+				l.AddCell(&cells[c])
+			}
+			l.Self = true
+			n := im.EvalM2P(&tg, &l, true, eps2)
+			n += im.EvalPP(&tg, &l, eps2)
+			n += im.EvalSelf(&tg, eps2)
+			acc := make([]vec.V3, nt)
+			pot := make([]float64, nt)
+			tg.Store(acc, pot)
+			return acc, pot, n
+		}
+		accT, potT, nT := run(ImplTiled)
+		accR, potR, nR := run(ImplRef)
+		if nT != nR {
+			t.Fatalf("nt=%d: counts tiled %d ref %d", nt, nT, nR)
+		}
+		scale := accScale(accR)
+		for i := range accT {
+			if accT[i].Sub(accR[i]).Norm() > 1e-13*scale ||
+				relDiff(potT[i], potR[i]) > 1e-13 {
+				t.Fatalf("nt=%d body %d: tiled %v/%g ref %v/%g",
+					nt, i, accT[i], potT[i], accR[i], potR[i])
+			}
+		}
+	}
+}
+
+func TestImplString(t *testing.T) {
+	if ImplTiled.String() != "tiled" || ImplRef.String() != "ref" {
+		t.Fatalf("Impl strings: %q, %q", ImplTiled, ImplRef)
+	}
+}

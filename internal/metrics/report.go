@@ -74,6 +74,10 @@ type RunReport struct {
 	Totals      Totals         `json:"totals"`
 	Ranks       []RankReport   `json:"ranks"`
 	Phases      []PhaseBalance `json:"phase_balance,omitempty"`
+	// Roofline places the run's kernels on a roofline plot; the
+	// accounting half is always filled, the machine ceilings only when
+	// the renderer calibrates (perfreport -roofline).
+	Roofline *Roofline `json:"roofline,omitempty"`
 	// CommMatrix*: row = sending rank, column = destination rank.
 	CommMatrixMsgs  [][]uint64                   `json:"comm_matrix_msgs,omitempty"`
 	CommMatrixBytes [][]uint64                   `json:"comm_matrix_bytes,omitempty"`
@@ -172,6 +176,7 @@ func BuildReport(command string, bodies int, wall float64, ranks []RankInput, w 
 	if wall > 0 {
 		rep.Totals.FlopsRate = float64(rep.Totals.Flops) / wall
 	}
+	rep.Roofline = NewRoofline(rep.Totals.Flops, rep.Totals.Counters.KernelBytes(), wall)
 	if w != nil {
 		tot := w.TotalTraffic()
 		rep.Totals.Msgs, rep.Totals.Bytes = tot.Msgs, tot.Bytes
@@ -222,6 +227,21 @@ func (r *RunReport) Render(w io.Writer) {
 		r.Totals.Flops, r.Constants.FlopsPerInteraction, diag.Rate(r.Totals.Flops, r.WallSeconds))
 	if r.Totals.Msgs > 0 {
 		fmt.Fprintf(w, "traffic: %d msgs, %.3f MB total\n", r.Totals.Msgs, float64(r.Totals.Bytes)/1e6)
+	}
+
+	if rf := r.Roofline; rf != nil && rf.KernelBytes > 0 {
+		fmt.Fprintf(w, "\nroofline:\n")
+		fmt.Fprintf(w, "  kernel flops     %d\n", rf.KernelFlops)
+		fmt.Fprintf(w, "  kernel bytes     %d\n", rf.KernelBytes)
+		fmt.Fprintf(w, "  intensity        %.2f flops/byte (paper: 38 flops / 32 bytes = 1.19)\n", rf.Intensity)
+		fmt.Fprintf(w, "  achieved         %s\n", diag.Rate(uint64(rf.AchievedFlops), 1))
+		if rf.PeakFlops > 0 {
+			fmt.Fprintf(w, "  peak compute     %s (measured)\n", diag.Rate(uint64(rf.PeakFlops), 1))
+			fmt.Fprintf(w, "  peak bandwidth   %.2f GB/s (measured)\n", rf.PeakBandwidth/1e9)
+			fmt.Fprintf(w, "  ridge point      %.2f flops/byte\n", rf.RidgeIntensity)
+			fmt.Fprintf(w, "  ceiling          %s (%s-bound)\n", diag.Rate(uint64(rf.Ceiling), 1), rf.Bound)
+			fmt.Fprintf(w, "  utilization      %.1f%% of roofline ceiling\n", rf.Utilization*100)
+		}
 	}
 
 	fmt.Fprintf(w, "\nper-rank work:\n")

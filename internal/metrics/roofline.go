@@ -1,0 +1,166 @@
+// Roofline analysis for the interaction kernels: pair the 38-flop
+// interaction accounting with a bytes-moved count (diag.KernelBytes)
+// to place the run on a roofline plot -- arithmetic intensity on the
+// x-axis, achieved flop rate against the machine's compute and memory
+// ceilings. The paper argued its kernels were compute-bound on the
+// Pentium Pro ("32 bytes per 38 flops"); this section makes the same
+// argument measurable on the host the run actually used.
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Roofline is the roofline section of a RunReport. The first four
+// fields are pure accounting filled by BuildReport; the Peak* fields
+// and everything derived from them are host measurements filled by
+// Calibrate (perfreport does this at render time, so a report written
+// on one machine can be calibrated against another).
+type Roofline struct {
+	// KernelFlops and KernelBytes are the totals over all ranks under
+	// the paper's flop accounting and the tiled kernels' bytes-moved
+	// accounting (see diag.KernelBytes).
+	KernelFlops uint64 `json:"kernel_flops"`
+	KernelBytes uint64 `json:"kernel_bytes"`
+	// Intensity is KernelFlops/KernelBytes in flops/byte.
+	Intensity float64 `json:"intensity_flops_per_byte"`
+	// AchievedFlops is the run's sustained rate, flops/s.
+	AchievedFlops float64 `json:"achieved_flops"`
+
+	// PeakFlops is the measured (or asserted) compute ceiling, flops/s.
+	PeakFlops float64 `json:"peak_flops,omitempty"`
+	// PeakBandwidth is the measured memory ceiling, bytes/s.
+	PeakBandwidth float64 `json:"peak_bandwidth,omitempty"`
+	// RidgeIntensity is PeakFlops/PeakBandwidth: below it a kernel is
+	// bandwidth-limited, above it compute-limited.
+	RidgeIntensity float64 `json:"ridge_intensity,omitempty"`
+	// Ceiling is min(PeakFlops, Intensity*PeakBandwidth): the roofline
+	// bound for this kernel's intensity.
+	Ceiling float64 `json:"ceiling_flops,omitempty"`
+	// Bound is "compute" or "memory" depending on which side of the
+	// ridge the kernel sits.
+	Bound string `json:"bound,omitempty"`
+	// Utilization is AchievedFlops/Ceiling.
+	Utilization float64 `json:"utilization,omitempty"`
+}
+
+// NewRoofline builds the accounting half from run totals; wall is the
+// run's wall-clock seconds.
+func NewRoofline(flops, bytes uint64, wall float64) *Roofline {
+	r := &Roofline{KernelFlops: flops, KernelBytes: bytes}
+	if bytes > 0 {
+		r.Intensity = float64(flops) / float64(bytes)
+	}
+	if wall > 0 {
+		r.AchievedFlops = float64(flops) / wall
+	}
+	return r
+}
+
+// Calibrate fills the machine half against the given ceilings
+// (flops/s and bytes/s) and derives the ridge point, the kernel's
+// roofline ceiling, which side it binds on, and the utilization.
+func (r *Roofline) Calibrate(peakFlops, peakBandwidth float64) {
+	r.PeakFlops = peakFlops
+	r.PeakBandwidth = peakBandwidth
+	if peakBandwidth > 0 {
+		r.RidgeIntensity = peakFlops / peakBandwidth
+	}
+	r.Ceiling = peakFlops
+	r.Bound = "compute"
+	if bw := r.Intensity * peakBandwidth; bw > 0 && bw < r.Ceiling {
+		r.Ceiling = bw
+		r.Bound = "memory"
+	}
+	if r.Ceiling > 0 {
+		r.Utilization = r.AchievedFlops / r.Ceiling
+	}
+}
+
+// MeasurePeakFlops estimates the host's double-precision compute
+// ceiling in flops/s: every core runs chains of independent
+// multiply-adds (8 accumulators per goroutine, enough to cover the
+// FP latency-throughput gap), charged at 2 flops each. On hardware
+// where the compiler does not fuse them this underestimates the FMA
+// peak by up to 2x -- acceptable for a ceiling the kernels are
+// compared against, and stated in the report as "measured".
+func MeasurePeakFlops() float64 {
+	workers := runtime.GOMAXPROCS(0)
+	const iters = 1 << 22
+	var wg sync.WaitGroup
+	sink := make([]float64, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a0, a1, a2, a3 := 1.0, 1.1, 1.2, 1.3
+			a4, a5, a6, a7 := 1.4, 1.5, 1.6, 1.7
+			// Multipliers near 1 keep the accumulators finite for the
+			// whole run (no Inf/denormal slowdowns).
+			const c, d = 1.0000000001, 1e-9
+			for i := 0; i < iters; i++ {
+				a0 = a0*c + d
+				a1 = a1*c + d
+				a2 = a2*c + d
+				a3 = a3*c + d
+				a4 = a4*c + d
+				a5 = a5*c + d
+				a6 = a6*c + d
+				a7 = a7*c + d
+			}
+			sink[w] = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7
+		}(w)
+	}
+	wg.Wait()
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	// 8 chains x 2 flops per iteration per worker.
+	return float64(workers) * float64(iters) * 16 / el
+}
+
+// MeasurePeakBandwidth estimates the host's memory read bandwidth in
+// bytes/s: every core streams a 32 MiB float64 buffer (well past any
+// LLC) with a reduction that the compiler cannot elide.
+func MeasurePeakBandwidth() float64 {
+	workers := runtime.GOMAXPROCS(0)
+	const n = 4 << 20 // 4M float64 = 32 MiB per worker
+	const passes = 4
+	bufs := make([][]float64, workers)
+	for w := range bufs {
+		bufs[w] = make([]float64, n)
+		for i := range bufs[w] {
+			bufs[w][i] = float64(i)
+		}
+	}
+	var wg sync.WaitGroup
+	sink := make([]float64, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var s0, s1, s2, s3 float64
+			b := bufs[w]
+			for p := 0; p < passes; p++ {
+				for i := 0; i+4 <= len(b); i += 4 {
+					s0 += b[i]
+					s1 += b[i+1]
+					s2 += b[i+2]
+					s3 += b[i+3]
+				}
+			}
+			sink[w] = s0 + s1 + s2 + s3
+		}(w)
+	}
+	wg.Wait()
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(workers) * float64(n) * 8 * passes / el
+}

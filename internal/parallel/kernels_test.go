@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grav"
+	"repro/internal/ic"
+	"repro/internal/msg"
+	"repro/internal/vec"
+)
+
+// runKernels runs one force evaluation at np ranks with the given
+// kernel implementation and returns per-body-ID forces and the summed
+// interaction counts.
+func runKernels(t *testing.T, np, n int, im grav.Impl, mac grav.MACParams, eps2 float64) (map[int64]vec.V3, map[int64]float64, uint64, uint64) {
+	t.Helper()
+	acc := make(map[int64]vec.V3, n)
+	pot := make(map[int64]float64, n)
+	var mu sync.Mutex
+	var pp, pc uint64
+	msg.Run(np, func(c *msg.Comm) {
+		global := ic.Plummer(n, 1.0, 17)
+		local := core.New(0)
+		local.EnableDynamics()
+		lo, hi := c.Rank()*n/c.Size(), (c.Rank()+1)*n/c.Size()
+		for i := lo; i < hi; i++ {
+			local.AppendFrom(global, i)
+		}
+		e := New(c, local, Config{MAC: mac, Eps2: eps2, Kernels: im})
+		e.ComputeForces()
+		mu.Lock()
+		defer mu.Unlock()
+		pp += e.Counters.PP
+		pc += e.Counters.PC
+		for i := 0; i < e.Sys.Len(); i++ {
+			acc[e.Sys.ID[i]] = e.Sys.Acc[i]
+			pot[e.Sys.ID[i]] = e.Sys.Pot[i]
+		}
+	})
+	return acc, pot, pp, pc
+}
+
+// TestKernelEquivalenceAcrossRanks is the engine-level switch's
+// guarantee: at np = 1, 2 and 8 the tiled kernels must produce exactly
+// the same interaction counts as the reference kernels (the tiling
+// never changes which interactions happen) and forces within 1e-13
+// relative (only the association order of per-tile partial sums
+// differs).
+func TestKernelEquivalenceAcrossRanks(t *testing.T) {
+	const n = 1200
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-4, Quad: true}
+	const eps2 = 1e-6
+
+	for _, np := range []int{1, 2, 8} {
+		accT, potT, ppT, pcT := runKernels(t, np, n, grav.ImplTiled, mac, eps2)
+		accR, potR, ppR, pcR := runKernels(t, np, n, grav.ImplRef, mac, eps2)
+		if ppT != ppR || pcT != pcR {
+			t.Errorf("np=%d: counts tiled PP=%d PC=%d, ref PP=%d PC=%d", np, ppT, pcT, ppR, pcR)
+		}
+		if len(accT) != n || len(accR) != n {
+			t.Fatalf("np=%d: missing bodies (tiled %d, ref %d of %d)", np, len(accT), len(accR), n)
+		}
+		accScale := 0.0
+		for _, a := range accR {
+			if v := a.Norm(); v > accScale {
+				accScale = v
+			}
+		}
+		maxErr := 0.0
+		for id, ar := range accR {
+			at := accT[id]
+			if diff := at.Sub(ar).Norm() / accScale; diff > maxErr {
+				maxErr = diff
+			}
+			pr, pt := potR[id], potT[id]
+			if d := pr - pt; d > 1e-13*(-pr) || d < -1e-13*(-pr) {
+				t.Errorf("np=%d body %d: potential tiled %g ref %g", np, id, pt, pr)
+			}
+		}
+		if maxErr > 1e-13 {
+			t.Errorf("np=%d: max relative force difference tiled vs ref %g > 1e-13", np, maxErr)
+		}
+	}
+}

@@ -45,6 +45,11 @@ type Config struct {
 	// ColdStart disables the incremental decomposition (resort repair,
 	// warm splitter bisection); results are byte-identical either way.
 	ColdStart bool
+	// Kernels selects the interaction-kernel implementation for every
+	// force evaluation of this engine; the zero value is the production
+	// tiled set, grav.ImplRef the reference sweeps (ablations and
+	// cross-kernel equivalence tests).
+	Kernels grav.Impl
 }
 
 // Leaf is the gravity leaf payload of a request reply: position and
@@ -108,6 +113,7 @@ func New(c *msg.Comm, sys *core.System, cfg Config) *Engine {
 	}
 	sys.EnableDynamics()
 	e := &Engine{Cfg: cfg}
+	e.w.Kernels = cfg.Kernels
 	e.phys = &physics{e: e}
 	e.Engine = hotengine.New[hotengine.None, Leaf](c, sys, e.phys, hotengine.Config{
 		MAC: cfg.MAC, Bucket: cfg.Bucket, MaxRounds: cfg.MaxRounds,

@@ -1,0 +1,98 @@
+package perfmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModernMachine describes a present-day rented machine for the
+// modernized Part II study: instead of a parts list summing to a
+// purchase price, a cloud instance is (vCPU count, clock, per-cycle
+// flop width, $/hour). Peak GFLOPS and the price figures of merit
+// follow the same arithmetic as the classic $/Mflop table:
+//
+//	GFLOPS   = vCPU x ClockGHz x FlopsPerCycle
+//	$/TFLOP  = PriceHrUSD / (GFLOPS/1000)      (an hourly rate)
+//	5yr cost = PriceHrUSD x 24 x 365 x 5       (the buy-vs-rent bridge
+//	                                            to the paper's one-time
+//	                                            system price)
+type ModernMachine struct {
+	Name string
+	// VCPU is the advertised vCPU count (hardware threads).
+	VCPU int
+	// ClockGHz is the sustained clock in GHz.
+	ClockGHz float64
+	// FlopsPerCycle is the double-precision flops one vCPU retires per
+	// cycle (FMA width x 2 / SMT sharing, per the vendor datasheet).
+	FlopsPerCycle int
+	// PriceHrUSD is the on-demand hourly price.
+	PriceHrUSD float64
+}
+
+// GFLOPS returns the advertised peak: vCPU x clock x flops/cycle.
+func (m ModernMachine) GFLOPS() float64 {
+	return float64(m.VCPU) * m.ClockGHz * float64(m.FlopsPerCycle)
+}
+
+// PerTflopHrUSD returns the hourly price of a peak teraflop.
+func (m ModernMachine) PerTflopHrUSD() float64 {
+	g := m.GFLOPS()
+	if g <= 0 {
+		return 0
+	}
+	return m.PriceHrUSD / (g / 1000)
+}
+
+// FiveYearHours is the rent-to-own horizon used to compare an hourly
+// price with the paper's one-time system price.
+const FiveYearHours = 24 * 365 * 5
+
+// FiveYearUSD returns the cost of renting the instance continuously
+// for five years.
+func (m ModernMachine) FiveYearUSD() float64 {
+	return m.PriceHrUSD * FiveYearHours
+}
+
+// PerMflopFiveYearUSD is the paper's figure of merit transplanted to a
+// rented machine: the five-year cost divided by a sustained Mflops
+// rate. Comparable to Loki's $58/Mflop (a bought machine amortized
+// over its useful life) and GRAPE-5's $7/Mflops.
+func (m ModernMachine) PerMflopFiveYearUSD(sustainedMflops float64) float64 {
+	return PricePerMflop(m.FiveYearUSD(), sustainedMflops)
+}
+
+// ModernTable is the present-day instance table (on-demand prices as
+// of mid-2026; general-purpose and compute-optimized x86 shapes with
+// AVX-512 FMA, plus one small shape for scale). FlopsPerCycle 16 =
+// one 512-bit FMA pipe x 8 doubles x 2 flops per vCPU (SMT halves the
+// two-pipe core figure).
+var ModernTable = []ModernMachine{
+	{Name: "c7i.metal-24xl", VCPU: 96, ClockGHz: 3.2, FlopsPerCycle: 16, PriceHrUSD: 4.284},
+	{Name: "c7i.8xlarge", VCPU: 32, ClockGHz: 3.2, FlopsPerCycle: 16, PriceHrUSD: 1.428},
+	{Name: "m7i.4xlarge", VCPU: 16, ClockGHz: 3.2, FlopsPerCycle: 16, PriceHrUSD: 0.8064},
+	{Name: "c6i.2xlarge", VCPU: 8, ClockGHz: 2.9, FlopsPerCycle: 16, PriceHrUSD: 0.34},
+	{Name: "m6i.large", VCPU: 2, ClockGHz: 2.9, FlopsPerCycle: 16, PriceHrUSD: 0.096},
+}
+
+// Classic $/Mflop anchors the modern rows are printed against.
+const (
+	// PaperPerMflopUSD is the paper's headline: "about $50/Mflop".
+	PaperPerMflopUSD = 50
+	// Grape5PerMflopUSD is the GRAPE-5 special-purpose figure the
+	// paper cites as the number to beat ($7/Mflops).
+	Grape5PerMflopUSD = 7
+)
+
+// FormatModernTable renders the instance table like the classic parts
+// tables: peak GFLOPS, hourly $/TFLOP, and the five-year rent cost.
+func FormatModernTable(rows []ModernMachine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %5s %6s %5s %9s %12s %13s\n",
+		"Instance", "vCPU", "GHz", "f/cyc", "GFLOPS", "$/hr/TFLOP", "5yr price")
+	for _, m := range rows {
+		fmt.Fprintf(&b, "%-16s %5d %6.1f %5d %9.1f %12.3f %13.0f\n",
+			m.Name, m.VCPU, m.ClockGHz, m.FlopsPerCycle,
+			m.GFLOPS(), m.PerTflopHrUSD(), m.FiveYearUSD())
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestModernArithmetic pins the instance-table formulas to the same
+// arithmetic as the reference analysis: GFLOPS = vCPU x clock x
+// flops/cycle, hourly $/TFLOP = price / (GFLOPS/1000), five-year cost
+// = price x 24 x 365 x 5.
+func TestModernArithmetic(t *testing.T) {
+	m := ModernMachine{Name: "x", VCPU: 40, ClockGHz: 2.4, FlopsPerCycle: 16, PriceHrUSD: 2.394}
+	if got, want := m.GFLOPS(), 40*2.4*16.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("GFLOPS = %g, want %g", got, want)
+	}
+	if got, want := m.PerTflopHrUSD(), 2.394/(40*2.4*16.0/1000); math.Abs(got-want) > 1e-12 {
+		t.Errorf("$/TFLOP = %g, want %g", got, want)
+	}
+	if got, want := m.FiveYearUSD(), 2.394*24*365*5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("5yr cost = %g, want %g", got, want)
+	}
+}
+
+// TestModernTableGolden pins every row of the shipped table: the
+// derived columns must match the formulas applied to the row's
+// literals, and a few spot values are pinned outright so a silent
+// edit of the table shows up as a diff here.
+func TestModernTableGolden(t *testing.T) {
+	for _, m := range ModernTable {
+		wantG := float64(m.VCPU) * m.ClockGHz * float64(m.FlopsPerCycle)
+		if math.Abs(m.GFLOPS()-wantG) > 1e-9 {
+			t.Errorf("%s: GFLOPS = %g, want %g", m.Name, m.GFLOPS(), wantG)
+		}
+		if wantT := m.PriceHrUSD / (wantG / 1000); math.Abs(m.PerTflopHrUSD()-wantT) > 1e-12 {
+			t.Errorf("%s: $/TFLOP = %g, want %g", m.Name, m.PerTflopHrUSD(), wantT)
+		}
+		if wantF := m.PriceHrUSD * FiveYearHours; math.Abs(m.FiveYearUSD()-wantF) > 1e-6 {
+			t.Errorf("%s: 5yr = %g, want %g", m.Name, m.FiveYearUSD(), wantF)
+		}
+	}
+	spot := map[string]float64{
+		"c7i.metal-24xl": 4915.2,
+		"c7i.8xlarge":    1638.4,
+		"m6i.large":      92.8,
+	}
+	seen := 0
+	for _, m := range ModernTable {
+		if want, ok := spot[m.Name]; ok {
+			seen++
+			if math.Abs(m.GFLOPS()-want) > 1e-9 {
+				t.Errorf("%s: GFLOPS = %g, want pinned %g", m.Name, m.GFLOPS(), want)
+			}
+		}
+	}
+	if seen != len(spot) {
+		t.Errorf("pinned %d of %d expected instances in ModernTable", seen, len(spot))
+	}
+}
+
+// TestModernVsClassicAnchors: five years of the cheapest listed
+// instance at its own peak must land far below both the paper's
+// $50/Mflop and GRAPE-5's $7/Mflops -- the modernized Part II's
+// conclusion, pinned so the table cannot drift into contradicting it.
+func TestModernVsClassicAnchors(t *testing.T) {
+	if PaperPerMflopUSD != 50 || Grape5PerMflopUSD != 7 {
+		t.Fatalf("classic anchors changed: paper=%d grape5=%d", PaperPerMflopUSD, Grape5PerMflopUSD)
+	}
+	for _, m := range ModernTable {
+		// Charge the peak rate; even at 10% of peak the conclusion holds,
+		// checked with the 10x margin below.
+		per := m.PerMflopFiveYearUSD(m.GFLOPS() * 1000)
+		if per*10 >= Grape5PerMflopUSD {
+			t.Errorf("%s: five-year $%.4f/Mflop at peak; 10%%-of-peak would not beat GRAPE-5", m.Name, per)
+		}
+	}
+}
+
+func TestFormatModernTable(t *testing.T) {
+	out := FormatModernTable(ModernTable)
+	for _, want := range []string{"Instance", "$/hr/TFLOP", "5yr price", "c7i.8xlarge", "4915.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package rsqrt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// relErrVsSqrt returns |RsqrtFused(x) - 1/sqrt(x)| / (1/sqrt(x)).
+func relErrVsSqrt(x float64) float64 {
+	want := 1 / math.Sqrt(x)
+	return math.Abs(RsqrtFused(x)-want) / want
+}
+
+// Property: the fused one-Newton path matches 1/math.Sqrt to ~2 ulp
+// for all positive finite inputs, same bound the two-Newton Rsqrt
+// property test uses -- the finer per-binade seed grid buys back the
+// dropped iteration.
+func TestRsqrtFusedAccuracyProperty(t *testing.T) {
+	f := func(u uint64) bool {
+		u &^= 1 << 63
+		x := math.Float64frombits(u)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			return true
+		}
+		want := 1 / math.Sqrt(x)
+		if math.IsInf(want, 1) {
+			return math.IsInf(RsqrtFused(x), 1)
+		}
+		return relErrVsSqrt(x) <= 5e-16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fused table folds the binade parity into the coefficients: a
+// wrong fold would be a clean 1/sqrt(2) factor on half the exponent
+// range. Sweep a mantissa grid across binades of both parities, deep
+// into both tails, to pin the parity logic and the exponent-add
+// rescale exactly where the property test samples thinly.
+func TestRsqrtFusedBinadeSweep(t *testing.T) {
+	worst := 0.0
+	for e := -320; e <= 320; e++ {
+		for i := 0; i < 64; i++ {
+			x := (1 + float64(i)/64) * math.Ldexp(1, e)
+			if rel := relErrVsSqrt(x); rel > worst {
+				worst = rel
+			}
+		}
+	}
+	if worst > 5e-16 {
+		t.Errorf("worst relative error across binades %g > 5e-16", worst)
+	}
+}
+
+// Zero, negative, Inf, NaN, and subnormal inputs take the fallback,
+// so the fused path must agree with Rsqrt bit for bit there.
+func TestRsqrtFusedSpecialsMatchRsqrt(t *testing.T) {
+	cases := []float64{
+		0,
+		math.Copysign(0, -1),
+		-1,
+		-math.MaxFloat64,
+		math.Inf(1),
+		math.Inf(-1),
+		math.NaN(),
+		math.Float64frombits(1),                  // smallest subnormal
+		math.Float64frombits(0x000FFFFFFFFFFFFF), // largest subnormal
+	}
+	for _, x := range cases {
+		got, want := RsqrtFused(x), Rsqrt(x)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("RsqrtFused(%g) = %v, Rsqrt = %v", x, got, want)
+		}
+	}
+	// The extreme normals stay on the fast path (they must NOT fall
+	// back), where only accuracy -- not bit identity with the
+	// two-Newton Rsqrt -- is guaranteed.
+	for _, x := range []float64{math.MaxFloat64, math.Float64frombits(0x0010000000000000)} {
+		if rel := relErrVsSqrt(x); rel > 5e-16 {
+			t.Errorf("RsqrtFused(%g) relative error %g > 5e-16", x, rel)
+		}
+	}
+}
+
+// The seed polynomial alone (before the Newton step) must land within
+// ~1e-8 of 1/sqrt: one Newton squares that to below an ulp, which is
+// the whole budget for dropping the second iteration. Evaluates the
+// table exactly the way the kernels do.
+func TestRsqrtFusedSeedAccuracy(t *testing.T) {
+	seed := FusedTable()
+	worst := 0.0
+	for i := 0; i < 4096; i++ {
+		x := 1 + 3*float64(i)/4096 // spans both binade parities
+		b := math.Float64bits(x)
+		k := int(b>>FusedShift) & (FusedTableSize - 1)
+		tf := float64(b << (64 - FusedShift) >> (64 - FusedShift))
+		c := &seed[k]
+		y := c.C0 + tf*(c.C1+tf*c.C2)
+		want := 1 / math.Sqrt(x)
+		if rel := math.Abs(y-want) / want; rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 2e-8 {
+		t.Errorf("worst fused seed relative error %g > 2e-8", worst)
+	}
+}

@@ -32,6 +32,10 @@ type Source interface {
 type Walker struct {
 	stack   []keys.Key
 	missing []keys.Key
+	// Kernels selects the interaction-kernel implementation Evaluate
+	// uses; the zero value is the production tiled set. Engines set it
+	// once so every evaluation of a run is pinned to one set.
+	Kernels grav.Impl
 	// List is the interaction list built by the last Walk.
 	List grav.InteractionList
 	tg   grav.Targets
@@ -151,14 +155,14 @@ func (w *Walker) Evaluate(gpos []vec.V3, gmass []float64, acc []vec.V3, pot []fl
 	} else {
 		w.tg.Load(gpos, nil)
 	}
-	n := grav.EvalM2P(&w.tg, &w.List, quad, eps2)
+	n := w.Kernels.EvalM2P(&w.tg, &w.List, quad, eps2)
 	ctr.PC += n
 	if quad {
 		ctr.QuadPC += n
 	}
-	ctr.PP += grav.EvalPP(&w.tg, &w.List, eps2)
+	ctr.PP += w.Kernels.EvalPP(&w.tg, &w.List, eps2)
 	if w.List.Self {
-		ctr.PP += grav.EvalSelf(&w.tg, eps2)
+		ctr.PP += w.Kernels.EvalSelf(&w.tg, eps2)
 	}
 	w.tg.Store(acc, pot)
 }
@@ -223,6 +227,7 @@ func (w *Walker) WalkFused(src Source, groupKey keys.Key, gpos []vec.V3, acc []v
 // the serial driver and the concurrent pool workers; with a reused
 // Walker the steady state allocates nothing.
 func (t *Tree) gravityGroups(w *Walker, ctr *diag.Counters, glo, ghi int, eps2 float64) {
+	w.Kernels = t.Kernels
 	sys := t.Sys
 	for _, gk := range t.Groups[glo:ghi] {
 		g := t.Cell(gk)

@@ -1,8 +1,9 @@
 #!/bin/sh
-# Repo-wide check: build, vet, race tests, and the batched-walker
-# benchmark guardrail -- the ablation benches run once and are diffed
-# against the committed BENCH_baseline.json, failing on a >15% ns/op
-# regression or any steady-state allocation creeping in.
+# Repo-wide check: build, vet, race tests, the hot-kernel
+# bounds-check-elimination guard, and the benchmark guardrail -- the
+# ablation benches run once and are diffed against the committed
+# BENCH_baseline.json, failing on a >15% ns/op regression or any
+# steady-state allocation creeping in.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,9 +18,20 @@ go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./int
 	./internal/core ./internal/tree ./internal/domain ./internal/abm ./internal/hotengine
 echo "== chaos soak (bounded, fixed seeds; clean exit or structured abort, never a hang)"
 sh scripts/chaos.sh quick
+echo "== bce (hot interaction kernels stay bounds-check-free, -d=ssa/check_bce)"
+sh scripts/bce.sh
 echo "== benchcmp (construction + walker ablations vs BENCH_baseline.json, tol 15%)"
 {
 	go test -run='^$' -bench=Ablation_Batched -benchtime=1x .
 	go test -run='^$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x .
 } | go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_(Batched|Sort|Build|Decompose)' -tol 0.15
+echo "== benchcmp (interaction-kernel ablations, tol 50%)"
+# The Eval benches measure sub-millisecond kernels, so shared-machine
+# clock steal swings their ns/op far more than the second-scale
+# benches above; the loose timing tolerance only catches catastrophic
+# regressions. The real guards are allocs/op (benchdump fails on ANY
+# growth -- the kernels must stay allocation-free) and the BCE golden
+# above.
+go test -run='^$' -bench='Ablation_Eval' -benchtime=100x . |
+	go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_Eval' -tol 0.5
 echo "== ok"
