@@ -467,6 +467,39 @@ func benchDecompose(b *testing.B, cold bool) {
 func BenchmarkAblation_DecomposeIncremental(b *testing.B) { benchDecompose(b, false) }
 func BenchmarkAblation_DecomposeCold(b *testing.B)        { benchDecompose(b, true) }
 
+// benchStep times one global step of the serial engine on the
+// clustered stepping IC: a Plummer sphere (the dense core spans
+// several rungs) inside a cold-collapse shell (at rest, coarsest
+// rungs until infall). Uniform runs one full evaluation per step;
+// block runs 2^maxrung sub-step evaluations over shrinking active
+// sets. "evalsave" is sink evaluations saved versus sub-stepping
+// everything at the finest rung -- the paper-facing win of the
+// hierarchy -- and "activefrac" its inverse.
+func benchStep(b *testing.B, eta float64) {
+	bodies := append(PlummerSphere(12000, 1, 11), ColdSphere(8000, 2, 13)...)
+	sim, err := NewSerial(bodies, Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if eta > 0 {
+		sim.EnableBlockSteps(eta)
+	}
+	b.ResetTimer()
+	var inter uint64
+	for i := 0; i < b.N; i++ {
+		inter += sim.Step(1e-3).Interactions
+	}
+	st := sim.StepperStats()
+	b.ReportMetric(float64(inter)/float64(b.N), "interactions/op")
+	if st.ActiveSinks > 0 {
+		b.ReportMetric(float64(st.ActiveSinks)/float64(st.TotalSinks), "activefrac")
+		b.ReportMetric(float64(st.TotalSinks)/float64(st.ActiveSinks), "evalsave")
+	}
+}
+
+func BenchmarkAblation_StepUniform(b *testing.B) { benchStep(b, 0) }
+func BenchmarkAblation_StepBlock(b *testing.B)   { benchStep(b, 0.02) }
+
 // GroupSphere runs once per group per evaluation (it gates every MAC
 // test), so its scalar rewrite is tracked alongside the kernels.
 func BenchmarkAblation_GroupSphere(b *testing.B) {

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cosmo"
 	"repro/internal/grav"
+	"repro/internal/integrate"
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/parallel"
@@ -36,7 +38,13 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	watchdog := flag.Duration("watchdog", 0, "abort with a stall report after this long without progress (0 = off)")
+	dtmode := flag.String("dtmode", "uniform", "time stepping: uniform (one rung) or block (hierarchical per-body sub-steps)")
+	eta := flag.Float64("eta", 0.02, "block-timestep criterion scale: dt_i = eta*sqrt(eps/|a_i|)")
 	flag.Parse()
+	if *dtmode != "uniform" && *dtmode != "block" {
+		fmt.Fprintf(os.Stderr, "cosmosim: unknown -dtmode %q (want uniform or block)\n", *dtmode)
+		os.Exit(1)
+	}
 
 	r, err := cosmo.NewRealization(cosmo.Params{
 		Grid: *grid, Box: 1.0, DeltaRMS: 0.25, ShapeGamma: 8, Seed: 12345,
@@ -91,6 +99,11 @@ func main() {
 			MAC:  grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 3e-3, Quad: true},
 			Eps2: 1e-6,
 		})
+		if *dtmode == "block" {
+			e.Stepper.Scheme = integrate.Block
+			e.Stepper.Eta = *eta
+			e.Stepper.Eps = math.Sqrt(1e-6)
+		}
 		if run != nil {
 			e.EnableTrace(run.Rank(c.Rank()))
 		}

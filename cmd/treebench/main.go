@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grav"
 	"repro/internal/ic"
+	"repro/internal/integrate"
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/parallel"
@@ -34,7 +36,13 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	chaosSpec := flag.String("chaos", "", `fault injection spec, e.g. "seed=7,crash=0.001,crashphase=walk" (test harness; keys: seed, crash, crashphase, stall, stallphase, latency, reorder)`)
 	watchdog := flag.Duration("watchdog", 0, "abort with a stall report after this long without progress (0 = off; chaos runs default to 5s)")
+	dtmode := flag.String("dtmode", "uniform", "time stepping: uniform (one rung) or block (hierarchical per-body sub-steps)")
+	eta := flag.Float64("eta", 0.02, "block-timestep criterion scale: dt_i = eta*sqrt(eps/|a_i|)")
 	flag.Parse()
+	if *dtmode != "uniform" && *dtmode != "block" {
+		fmt.Fprintf(os.Stderr, "treebench: unknown -dtmode %q (want uniform or block)\n", *dtmode)
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" {
 		stop, err := trace.StartCPUProfile(*cpuprofile)
@@ -88,6 +96,11 @@ func main() {
 			local.AppendFrom(global, i)
 		}
 		e := parallel.New(c, local, parallel.Config{MAC: mac, Bucket: *bucket, Eps2: 1e-6})
+		if *dtmode == "block" {
+			e.Stepper.Scheme = integrate.Block
+			e.Stepper.Eta = *eta
+			e.Stepper.Eps = math.Sqrt(1e-6)
+		}
 		if run != nil {
 			e.EnableTrace(run.Rank(c.Rank()))
 		}
@@ -130,6 +143,18 @@ func main() {
 	fmt.Printf("host: %.2fs wall, %.2f Gflops-equivalent\n", wall, float64(flops)/wall/1e9)
 	comm := w.MaxRankTraffic()
 	fmt.Printf("comm (max rank): %d msgs, %.2f MB\n", comm.Msgs, float64(comm.Bytes)/1e6)
+	if *dtmode == "block" {
+		var active, total uint64
+		for _, e := range engines {
+			active += e.Stepper.Stats.ActiveSinks
+			total += e.Stepper.Stats.TotalSinks
+		}
+		st := engines[0].Stepper.Stats
+		if total > 0 {
+			fmt.Printf("block stepping: %d sub-steps (%d full + %d partial evals), active fraction %.4f\n",
+				st.SubSteps, st.FullEvals, st.PartialEvals, float64(active)/float64(total))
+		}
+	}
 
 	if *metricsOut != "" {
 		inputs := make([]metrics.RankInput, len(engines))

@@ -157,6 +157,8 @@ type Serial struct {
 	cfg Config
 	sys *core.System
 	ctr diag.Counters
+	acc diag.Counters
+	st  integrate.Stepper
 }
 
 // NewSerial builds a serial simulation and computes initial forces.
@@ -168,23 +170,57 @@ func NewSerial(bodies []Body, cfg Config) (*Serial, error) {
 		return nil, fmt.Errorf("hot: no bodies")
 	}
 	s := &Serial{cfg: cfg, sys: toSystem(bodies)}
+	s.st.B = &integrate.FuncBodies{
+		System: s.sys,
+		Force:  func(_ *core.System, minRung int) { s.forcesActive(minRung) },
+	}
 	s.forces()
 	return s, nil
 }
 
+// EnableBlockSteps switches Step to hierarchical block timesteps:
+// each body sub-steps the global dt in 2^r pieces with r chosen from
+// dt_i = eta*sqrt(Eps/|a_i|), and only the tree-leaf groups holding an
+// active body are re-evaluated at each sub-step. Typical eta is
+// 0.01-0.05 for unit-scale problems. Call before the first Step (or
+// at any step boundary).
+func (s *Serial) EnableBlockSteps(eta float64) {
+	s.st.Scheme = integrate.Block
+	s.st.Eta = eta
+	s.st.Eps = s.cfg.Eps
+}
+
+// StepperStats returns the accumulated block-scheduler accounting
+// (sub-steps, full/partial evaluations, active-sink fractions).
+func (s *Serial) StepperStats() integrate.Stats { return s.st.Stats }
+
 func (s *Serial) forces() {
+	s.acc = diag.Counters{}
+	s.forcesActive(0)
+	s.ctr = s.acc
+}
+
+// forcesActive rebuilds the tree from the current (drifted) positions
+// and evaluates forces for the groups active at minRung (everything
+// when minRung <= 0), accumulating this step's counters.
+func (s *Serial) forcesActive(minRung int) {
 	d := keys.NewDomain(s.sys.Pos)
 	s.sys.AssignKeys(d)
 	s.sys.SortByKey()
 	tr := tree.Build(s.sys, d, s.cfg.macParams(), s.cfg.Bucket)
-	ctr := tr.Gravity(s.cfg.Eps * s.cfg.Eps)
+	ctr := tr.GravityActive(s.cfg.Eps*s.cfg.Eps, minRung)
 	ctr.CellsBuilt = uint64(tr.NCells())
-	s.ctr = ctr
+	s.acc.Add(ctr)
 }
 
-// Step advances one kick-drift-kick leapfrog step.
+// Step advances one global step through the integrate core: the
+// kick-drift-kick leapfrog by default, hierarchical sub-steps after
+// EnableBlockSteps. StepInfo aggregates every (partial) force
+// evaluation the step ran.
 func (s *Serial) Step(dt float64) StepInfo {
-	integrate.KickDriftKick(s.sys, func(*core.System) { s.forces() }, dt)
+	s.acc = diag.Counters{}
+	s.st.Step(dt)
+	s.ctr = s.acc
 	return s.info()
 }
 

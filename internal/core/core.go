@@ -37,6 +37,10 @@ type System struct {
 	// H is the SPH smoothing length; Rho the SPH density.
 	H   []float64
 	Rho []float64
+	// Rung is the block-timestep rung: body i sub-steps the global
+	// step in 2^Rung[i] pieces. Carried through sort and exchange so
+	// bodies keep their rung when they migrate ranks mid-step.
+	Rung []uint8
 }
 
 // New returns a system of n bodies with the always-present fields
@@ -80,6 +84,14 @@ func (s *System) EnableVortex() {
 	}
 }
 
+// EnableRungs allocates the block-timestep rung field if absent
+// (all bodies start on rung zero: the full global step).
+func (s *System) EnableRungs() {
+	if s.Rung == nil {
+		s.Rung = make([]uint8, s.Len())
+	}
+}
+
 // EnableSPH allocates the SPH fields if absent.
 func (s *System) EnableSPH() {
 	if s.H == nil {
@@ -115,6 +127,9 @@ func (s *System) swap(i, j int) {
 	}
 	if s.Rho != nil {
 		s.Rho[i], s.Rho[j] = s.Rho[j], s.Rho[i]
+	}
+	if s.Rung != nil {
+		s.Rung[i], s.Rung[j] = s.Rung[j], s.Rung[i]
 	}
 }
 
@@ -229,6 +244,9 @@ func (s *System) Slice(lo, hi int) *System {
 	if s.Rho != nil {
 		v.Rho = s.Rho[lo:hi]
 	}
+	if s.Rung != nil {
+		v.Rung = s.Rung[lo:hi]
+	}
 	return v
 }
 
@@ -257,6 +275,9 @@ func (s *System) AppendFrom(src *System, i int) {
 	if src.Rho != nil {
 		s.Rho = append(s.Rho, src.Rho[i])
 	}
+	if src.Rung != nil {
+		s.Rung = append(s.Rung, src.Rung[i])
+	}
 }
 
 // Validate checks internal consistency (slice lengths), returning a
@@ -284,6 +305,7 @@ func (s *System) Validate() error {
 	for name, l := range map[string]int{
 		"Vel": len(s.Vel), "Acc": len(s.Acc), "Pot": len(s.Pot),
 		"Alpha": len(s.Alpha), "H": len(s.H), "Rho": len(s.Rho),
+		"Rung": len(s.Rung),
 	} {
 		if l != 0 {
 			if err := check(name, l, n); err != nil {

@@ -49,6 +49,7 @@ type Sorter struct {
 	sRho                     []float64
 	sKey                     []keys.Key
 	sID                      []int64
+	sRung                    []uint8
 }
 
 // workers picks the fan-out for an n-element pass.
@@ -290,6 +291,9 @@ func (st *Sorter) Apply(s *System, perm []int32) {
 	if s.Rho != nil {
 		st.sRho = grow(st.sRho, n)
 	}
+	if s.Rung != nil {
+		st.sRung = grow(st.sRung, n)
+	}
 
 	if w := st.workers(n); w == 1 {
 		st.applyChunk(s, perm, 0, n)
@@ -319,6 +323,9 @@ func (st *Sorter) Apply(s *System, perm []int32) {
 	}
 	if s.Rho != nil {
 		s.Rho, st.sRho = st.sRho, s.Rho
+	}
+	if s.Rung != nil {
+		s.Rung, st.sRung = st.sRung, s.Rung
 	}
 }
 
@@ -355,6 +362,9 @@ func (st *Sorter) applyChunk(s *System, perm []int32, lo, hi int) {
 	}
 	if s.Rho != nil {
 		gather(st.sRho[lo:hi], s.Rho, p)
+	}
+	if s.Rung != nil {
+		gather(st.sRung[lo:hi], s.Rung, p)
 	}
 }
 

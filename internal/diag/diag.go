@@ -76,6 +76,22 @@ func (c *Counters) Add(other Counters) {
 	c.SPHPairs += other.SPHPairs
 }
 
+// Sub returns the field-wise difference c - other: the per-step delta
+// between two snapshots of an accumulating counter set.
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		PP:         c.PP - other.PP,
+		PC:         c.PC - other.PC,
+		QuadPC:     c.QuadPC - other.QuadPC,
+		CellsBuilt: c.CellsBuilt - other.CellsBuilt,
+		Traversals: c.Traversals - other.Traversals,
+		Deferred:   c.Deferred - other.Deferred,
+		Requests:   c.Requests - other.Requests,
+		VortexPP:   c.VortexPP - other.VortexPP,
+		SPHPairs:   c.SPHPairs - other.SPHPairs,
+	}
+}
+
 // Interactions returns the paper's headline interaction count.
 func (c *Counters) Interactions() uint64 { return c.PP + c.PC }
 

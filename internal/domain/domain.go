@@ -38,10 +38,14 @@ type Wire struct {
 	Mass, Work, H   float64
 	Rho             float64
 	ID              int64
+	// Rung is the block-timestep rung, carried so a body that strays
+	// across a rank boundary mid-step keeps its sub-step schedule.
+	Rung uint8
 }
 
-// WireBytes is the logical size of one Wire on the network.
-const WireBytes = 14 * 8
+// WireBytes is the logical size of one Wire on the network (13
+// float64 triples/scalars + id + one rung byte).
+const WireBytes = 14*8 + 1
 
 // Result is the outcome of a decomposition.
 type Result struct {
@@ -60,6 +64,13 @@ type Result struct {
 // the bisection from 63 allreduce rounds to about 41.
 const warmWindow = uint64(1) << 40
 
+// DefaultReuseThreshold is the displaced-body fraction at or below
+// which a Reuse decomposition keeps the previous splits. One body in
+// twenty crossing a cell boundary between sub-steps barely moves the
+// work balance, and the splits are refreshed exactly at every
+// synchronization point anyway.
+const DefaultReuseThreshold = 0.05
+
 // Stats describes the most recent Decompose call of a Decomposer.
 type Stats struct {
 	// Displaced is the number of out-of-order bodies the pre-exchange
@@ -76,6 +87,14 @@ type Stats struct {
 	// MergeRuns is the number of non-empty sorted runs the
 	// post-exchange merge combined (1 means the order was free).
 	MergeRuns int
+	// DisplacedFrac is the global fraction of bodies the order repair
+	// found displaced, allreduced so every rank sees the same value.
+	// Only computed when Reuse is set (it costs the one allreduce that
+	// replaces the bisection's many).
+	DisplacedFrac float64
+	// SplitsReused reports that the fast path engaged: the previous
+	// splits were kept verbatim and the bisection was skipped.
+	SplitsReused bool
 }
 
 // Decomposer carries the cross-step state of the incremental
@@ -89,6 +108,20 @@ type Decomposer struct {
 	// bisection. The results are byte-identical either way; Cold
 	// exists for ablations and paranoia.
 	Cold bool
+	// Reuse enables the displaced-fraction fast path for the partial
+	// force evaluations of block timesteps: when the globally
+	// allreduced fraction of displaced bodies is at most
+	// ReuseThreshold, the previous call's splits are kept verbatim and
+	// the splitter bisection (and its allreduce rounds) is skipped
+	// entirely. Bodies that drifted across the kept boundaries are
+	// still exchanged, so ownership stays exact; only the load balance
+	// goes slightly stale until the next full decomposition. Unlike
+	// Cold, this changes results (the splits), so callers enable it
+	// only between synchronization points.
+	Reuse bool
+	// ReuseThreshold is the displaced fraction at or below which Reuse
+	// keeps the previous splits; 0 means DefaultReuseThreshold.
+	ReuseThreshold float64
 	// Sub, when non-nil, accumulates the sorting share of the
 	// construction pipeline under the phase "treebuild/sort".
 	Sub *diag.Timer
@@ -138,18 +171,39 @@ func (dc *Decomposer) Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Re
 	n := sys.Len()
 	p := c.Size()
 
-	// Local prefix work sums: pw[i] = work of bodies [0, i).
-	if cap(dc.pw) < n+1 {
-		dc.pw = make([]float64, n+1)
+	var splits []uint64
+	if dc.Reuse && !dc.Cold && len(dc.prev) == p+1 {
+		// Fast path for partial evaluations: one allreduce decides --
+		// identically on every rank -- whether few enough bodies moved
+		// to keep the previous splits and skip the bisection.
+		thresh := dc.ReuseThreshold
+		if thresh <= 0 {
+			thresh = DefaultReuseThreshold
+		}
+		cnt := msg.Allreduce(c, [2]float64{float64(dc.Last.Displaced), float64(n)}, sumPair, 16)
+		dc.Last.Rounds++
+		if cnt[1] > 0 {
+			dc.Last.DisplacedFrac = cnt[0] / cnt[1]
+		}
+		if cnt[0] <= thresh*cnt[1] {
+			dc.Last.SplitsReused = true
+			splits = append([]uint64(nil), dc.prev...)
+		}
 	}
-	pw := dc.pw[:n+1]
-	pw[0] = 0
-	for i := 0; i < n; i++ {
-		pw[i+1] = pw[i] + sys.Work[i]
-	}
+	if splits == nil {
+		// Local prefix work sums: pw[i] = work of bodies [0, i).
+		if cap(dc.pw) < n+1 {
+			dc.pw = make([]float64, n+1)
+		}
+		pw := dc.pw[:n+1]
+		pw[0] = 0
+		for i := 0; i < n; i++ {
+			pw[i+1] = pw[i] + sys.Work[i]
+		}
 
-	total := msg.Allreduce(c, pw[n], msg.SumF64, 8)
-	splits := dc.bisect(c, sys, pw, total, p)
+		total := msg.Allreduce(c, pw[n], msg.SumF64, 8)
+		splits = dc.bisect(c, sys, pw, total, p)
+	}
 
 	// Pack send buffers: bodies are sorted, so each destination's
 	// bodies form one contiguous run and a single linear sweep finds
@@ -186,6 +240,9 @@ func (dc *Decomposer) Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Re
 			if sys.Rho != nil {
 				w.Rho = sys.Rho[i]
 			}
+			if sys.Rung != nil {
+				w.Rung = sys.Rung[i]
+			}
 			buf = append(buf, w)
 		}
 		send[r] = buf
@@ -209,6 +266,9 @@ func (dc *Decomposer) Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Re
 	if sys.H != nil {
 		out.EnableSPH()
 	}
+	if sys.Rung != nil {
+		out.EnableRungs()
+	}
 	i := 0
 	for _, buf := range recv {
 		for _, w := range buf {
@@ -227,6 +287,9 @@ func (dc *Decomposer) Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Re
 			}
 			if out.Rho != nil {
 				out.Rho[i] = w.Rho
+			}
+			if out.Rung != nil {
+				out.Rung[i] = w.Rung
 			}
 			i++
 		}
@@ -408,6 +471,10 @@ func searchOffset(ks []keys.Key, off uint64) int {
 // per call, byte-identical to the historical function.
 func Decompose(c *msg.Comm, sys *core.System, d keys.Domain) Result {
 	return new(Decomposer).Decompose(c, sys, d)
+}
+
+func sumPair(a, b [2]float64) [2]float64 {
+	return [2]float64{a[0] + b[0], a[1] + b[1]}
 }
 
 func sumVec(a, b []float64) []float64 {

@@ -202,6 +202,10 @@ func New[X, B any](c *msg.Comm, sys *core.System, phys Physics[X, B], cfg Config
 // CellBytes returns the derived fixed wire size of one cell record.
 func (e *Engine[X, B]) CellBytes() int { return e.cellBytes }
 
+// DecomposeStats describes the engine's most recent decomposition
+// (displaced bodies, bisection rounds, splits-reuse fast path).
+func (e *Engine[X, B]) DecomposeStats() domain.Stats { return e.dec.Last }
+
 // EnableTrace attaches a per-rank tracer: the Timer's phases become
 // timeline spans and the walk emits ABM round and stall spans. Call
 // before the first Exchange.
@@ -230,8 +234,29 @@ func (e *Engine[X, B]) Report() metrics.RankInput {
 // Sys holds the redistributed local bodies and the engine is ready
 // for WalkGroups.
 func (e *Engine[X, B]) Exchange() {
+	e.exchange(false)
+}
+
+// ExchangeIncremental is Exchange's fast path for the partial force
+// evaluations between block-timestep synchronization points: the key
+// domain is reused from the last full Exchange (keys.Domain.KeyOf
+// clamps, so bodies that drifted outside the stale box quantize to its
+// faces) and the decomposer may keep the previous splits when few
+// bodies moved (domain.Decomposer.Reuse), skipping the splitter
+// bisection and its allreduce rounds. Ownership stays exact -- strays
+// are still exchanged -- only the load balance and the domain box go
+// slightly stale until the next full Exchange. Must follow at least
+// one full Exchange.
+func (e *Engine[X, B]) ExchangeIncremental() {
+	e.exchange(true)
+}
+
+func (e *Engine[X, B]) exchange(incremental bool) {
 	e.Timer.Start("decompose")
-	e.Domain = domain.GlobalDomain(e.C, e.Sys)
+	if !incremental {
+		e.Domain = domain.GlobalDomain(e.C, e.Sys)
+	}
+	e.dec.Reuse = incremental && !e.Cfg.ColdStart
 	res := e.dec.Decompose(e.C, e.Sys, e.Domain)
 	e.Sys = res.Sys
 	e.Splits = res.Splits
@@ -445,13 +470,30 @@ func (e *Engine[X, B]) ResetImports() {
 // phase for the Timer and (with the configured prefix) the msg
 // traffic accounting.
 func (e *Engine[X, B]) WalkGroups(label string, walk func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key) {
+	e.walkGroups(label, nil, walk)
+}
+
+// WalkGroupsIf is WalkGroups restricted to the groups for which
+// active returns true -- the partial traversal of block timesteps.
+// Skipped groups run no walk at all, but every rank still enters the
+// same collective rounds (request serving is symmetric), so the call
+// is collective even when a rank's active set is empty.
+func (e *Engine[X, B]) WalkGroupsIf(label string, active func(g *tree.Cell) bool, walk func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key) {
+	e.walkGroups(label, active, walk)
+}
+
+func (e *Engine[X, B]) walkGroups(label string, active func(g *tree.Cell) bool, walk func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key) {
 	e.Timer.Start(label)
 	e.C.Phase(e.Cfg.PhasePrefix + label)
 	eng := abm.New(e.C, KeyWireBytes(), e.cellBytes, e.serve)
 	eng.Trace = e.Trace
 
-	deferred := make([]keys.Key, len(e.Local.Groups))
-	copy(deferred, e.Local.Groups)
+	deferred := make([]keys.Key, 0, len(e.Local.Groups))
+	for _, gk := range e.Local.Groups {
+		if active == nil || active(e.Local.Cell(gk)) {
+			deferred = append(deferred, gk)
+		}
+	}
 	pending := map[keys.Key]bool{}
 
 	// Stall observation (off unless tracing or the histogram is

@@ -1,8 +1,11 @@
-// Package integrate provides the time integrators used by the serial
-// simulation drivers: the kick-drift-kick leapfrog (the standard
-// N-body integrator, symplectic for fixed steps) and its comoving
-// variant for cosmological runs (see internal/cosmo for the expansion
-// factors).
+// Package integrate is the one time-integration core every driver and
+// engine steps through: the kick-drift-kick leapfrog (the standard
+// N-body integrator, symplectic for fixed steps), its hierarchical
+// block-timestep generalization (per-body power-of-two sub-steps
+// chosen from an acceleration criterion, see Stepper), and the shared
+// kick/drift loops. Serial drivers adapt via Forces/FuncBodies; the
+// distributed gravity and SPH engines adapt via the Bodies interface.
+// The comoving variant for cosmological runs lives in internal/cosmo.
 package integrate
 
 import (
@@ -14,21 +17,28 @@ import (
 // serial tree driver and the direct solver both satisfy it.
 type Forces func(sys *core.System)
 
-// Leapfrog advances the system by n kick-drift-kick steps of size dt.
-// The system's Acc must be current on entry (call forces once first);
-// it is current again on exit.
+// Leapfrog advances the system by n uniform kick-drift-kick steps of
+// size dt through the stepper core.
+//
+// Contract: the system's Acc must be current on entry (call forces
+// once first); it is current again on exit, and forces runs exactly
+// once per step -- the step sequence is Kick(dt/2), Drift(dt),
+// forces, Kick(dt/2), nothing more.
 func Leapfrog(sys *core.System, forces Forces, dt float64, n int) {
+	st := Stepper{B: &FuncBodies{
+		System: sys,
+		Force:  func(s *core.System, _ int) { forces(s) },
+	}}
 	for s := 0; s < n; s++ {
-		KickDriftKick(sys, forces, dt)
+		st.Step(dt)
 	}
 }
 
-// KickDriftKick advances one leapfrog step.
+// KickDriftKick advances one uniform leapfrog step (the one-rung case
+// of the stepper core; same Acc-current entry/exit contract as
+// Leapfrog).
 func KickDriftKick(sys *core.System, forces Forces, dt float64) {
-	Kick(sys, dt/2)
-	Drift(sys, dt)
-	forces(sys)
-	Kick(sys, dt/2)
+	Leapfrog(sys, forces, dt, 1)
 }
 
 // Kick advances velocities by dt with the current accelerations.

@@ -1,0 +1,234 @@
+package integrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ic"
+	"repro/internal/vec"
+)
+
+// countingBodies wraps FuncBodies and counts Forces calls.
+type countingBodies struct {
+	FuncBodies
+	calls int
+}
+
+func (b *countingBodies) Forces(minRung int) {
+	b.calls++
+	b.FuncBodies.Forces(minRung)
+}
+
+// Guard: a uniform step is Kick(dt/2), Drift(dt), one force
+// evaluation, Kick(dt/2) -- nothing more. A second evaluation per step
+// would silently double the cost of every driver.
+func TestUniformStepEvaluatesForcesOnce(t *testing.T) {
+	sys := ic.Plummer(60, 1, 9)
+	f := directForces(1e-4)
+	f(sys)
+	b := &countingBodies{FuncBodies: FuncBodies{
+		System: sys,
+		Force:  func(s *core.System, _ int) { f(s) },
+	}}
+	st := Stepper{B: b}
+	const steps = 7
+	for i := 0; i < steps; i++ {
+		st.Step(1e-3)
+	}
+	if b.calls != steps {
+		t.Fatalf("forces evaluated %d times over %d uniform steps, want exactly one per step", b.calls, steps)
+	}
+	if st.Stats.BigSteps != steps || st.Stats.SubSteps != steps || st.Stats.FullEvals != steps || st.Stats.PartialEvals != 0 {
+		t.Fatalf("uniform stats: %+v", st.Stats)
+	}
+	// Leapfrog drives the same core; its call count must match too.
+	sys2 := ic.Plummer(60, 1, 9)
+	calls := 0
+	f(sys2)
+	Leapfrog(sys2, func(s *core.System) { calls++; f(s) }, 1e-3, steps)
+	if calls != steps {
+		t.Fatalf("Leapfrog evaluated forces %d times over %d steps", calls, steps)
+	}
+}
+
+// KickRungs with no rung column (or every body on rung zero) must be
+// bit for bit the historical half-kick.
+func TestKickRungsDegeneratesToHalfKick(t *testing.T) {
+	mk := func() *core.System {
+		sys := ic.Plummer(40, 1, 11)
+		directForces(1e-4)(sys)
+		return sys
+	}
+	a, b, c := mk(), mk(), mk()
+	const dt = 7e-4 // not a power of two: exercises the rounding
+	Kick(a, dt/2)
+	KickRungs(b, 0, dt) // nil Rung column
+	c.EnableRungs()
+	KickRungs(c, 0, dt) // explicit rung-zero column
+	for i := range a.Vel {
+		if a.Vel[i] != b.Vel[i] || a.Vel[i] != c.Vel[i] {
+			t.Fatalf("body %d: Kick %v, KickRungs(nil) %v, KickRungs(r0) %v", i, a.Vel[i], b.Vel[i], c.Vel[i])
+		}
+	}
+}
+
+// The block scheduler with every body on rung zero runs exactly one
+// full evaluation per step and must reproduce the uniform leapfrog
+// bit for bit -- the degenerate case the refactor hinges on.
+func TestBlockOneRungBitwiseUniform(t *testing.T) {
+	const n, steps, dt = 150, 10, 1e-3
+	f := directForces(1e-4)
+	mk := func() (*core.System, *Stepper) {
+		sys := ic.Plummer(n, 1, 21)
+		f(sys)
+		st := &Stepper{B: &FuncBodies{
+			System: sys,
+			Force:  func(s *core.System, _ int) { f(s) },
+		}}
+		return sys, st
+	}
+	uniSys, uni := mk()
+	blkSys, blk := mk()
+	blk.Scheme = Block
+	// Eta large enough that dt_i = Eta*sqrt(Eps/|a|) always exceeds dt:
+	// every body lands on rung zero through the real criterion.
+	blk.Eta, blk.Eps = 1e6, 1.0
+	for i := 0; i < steps; i++ {
+		uni.Step(dt)
+		blk.Step(dt)
+	}
+	for i := range uniSys.Pos {
+		if uniSys.Pos[i] != blkSys.Pos[i] || uniSys.Vel[i] != blkSys.Vel[i] {
+			t.Fatalf("body %d diverged: uniform pos %v vel %v, block pos %v vel %v",
+				i, uniSys.Pos[i], uniSys.Vel[i], blkSys.Pos[i], blkSys.Vel[i])
+		}
+	}
+	if blk.Stats.PartialEvals != 0 || blk.Stats.FullEvals != steps {
+		t.Fatalf("one-rung block ran %d partial + %d full evals over %d steps", blk.Stats.PartialEvals, blk.Stats.FullEvals, steps)
+	}
+	if got := blk.Stats.Occupancy[0]; got != n*steps {
+		t.Fatalf("rung-0 occupancy %d, want %d", got, n*steps)
+	}
+}
+
+// plummerSetup builds a softened Plummer model plus a stepper; eta = 0
+// leaves the stepper uniform.
+func plummerSetup(n int, eps float64, eta float64) (*core.System, *Stepper) {
+	sys := ic.Plummer(n, 1, 33)
+	f := directForces(eps * eps)
+	f(sys)
+	st := &Stepper{B: &FuncBodies{
+		System: sys,
+		Force:  func(s *core.System, _ int) { f(s) },
+	}}
+	if eta > 0 {
+		st.Scheme = Block
+		st.Eta, st.Eps = eta, eps
+	}
+	return sys, st
+}
+
+// Energy pin on a Plummer model: hierarchical sub-steps approximate
+// the per-body trajectories, so block stepping may drift more than
+// uniform stepping at the same global dt -- but not by more than 2x,
+// or the rung criterion (or the prediction of inactive sources) is
+// broken.
+func TestBlockEnergyDriftWithinTwiceUniform(t *testing.T) {
+	const n, steps, dt, eps = 200, 120, 2e-2, 0.05
+	drift := func(eta float64) (float64, Stats) {
+		sys, st := plummerSetup(n, eps, eta)
+		_, _, e0 := Energy(sys)
+		for i := 0; i < steps; i++ {
+			st.Step(dt)
+		}
+		_, _, e1 := Energy(sys)
+		return math.Abs((e1 - e0) / e0), st.Stats
+	}
+	uniform, _ := drift(0)
+	block, stats := drift(0.02)
+	if stats.PartialEvals == 0 {
+		t.Fatalf("block run stayed on one rung (stats %+v); the comparison is vacuous", stats)
+	}
+	if stats.ActiveSinks >= stats.TotalSinks {
+		t.Fatalf("block run never shrank the active set: %d/%d", stats.ActiveSinks, stats.TotalSinks)
+	}
+	// Floor guards against a ratio blowup when both drifts are tiny.
+	if floor := 1e-10; block > 2*uniform+floor {
+		t.Fatalf("block energy drift %g exceeds 2x the uniform baseline %g", block, uniform)
+	}
+	t.Logf("energy drift: uniform %.3g, block %.3g (active fraction %.3f)",
+		uniform, block, float64(stats.ActiveSinks)/float64(stats.TotalSinks))
+}
+
+// At synchronization points every body has completed its sub-step
+// hierarchy, so reversing velocities and stepping back must retrace
+// the trajectory. Uniform leapfrog reverses to roundoff; the block
+// hierarchy re-derives rungs from the (reversed) accelerations, so it
+// retraces only to the sub-step truncation scale -- but a scheduler
+// bug (asymmetric kicks, skipped closing kick) shows up as O(1) error.
+func TestBlockTimeReversibleAtSyncPoints(t *testing.T) {
+	const n, steps, dt, eps = 120, 12, 1e-2, 0.05
+	for _, tc := range []struct {
+		name string
+		eta  float64
+		tol  float64
+	}{
+		{"uniform", 0, 1e-9},
+		{"block", 0.05, 2e-3},
+	} {
+		sys, st := plummerSetup(n, eps, tc.eta)
+		p0 := append([]vec.V3(nil), sys.Pos...)
+		for i := 0; i < steps; i++ {
+			st.Step(dt)
+		}
+		for i := range sys.Vel {
+			sys.Vel[i] = sys.Vel[i].Neg()
+		}
+		// Re-evaluate so rung assignment sees the turned-around state
+		// exactly as a fresh forward run would.
+		st.B.Forces(0)
+		for i := 0; i < steps; i++ {
+			st.Step(dt)
+		}
+		if tc.eta > 0 && st.Stats.PartialEvals == 0 {
+			t.Fatalf("%s: no partial evaluations; reversibility test is vacuous", tc.name)
+		}
+		worst := 0.0
+		for i := range sys.Pos {
+			if d := sys.Pos[i].Sub(p0[i]).Norm(); d > worst {
+				worst = d
+			}
+		}
+		if worst > tc.tol {
+			t.Fatalf("%s: worst position after forward+reverse %g, want < %g", tc.name, worst, tc.tol)
+		}
+		t.Logf("%s: worst reversal error %g", tc.name, worst)
+	}
+}
+
+// Rung assignment follows the acceleration criterion: halving eta
+// moves bodies one rung finer (dt_i halves), and the cap holds.
+func TestAssignRungsFollowsCriterion(t *testing.T) {
+	sys := core.New(3)
+	sys.EnableDynamics()
+	for i := range sys.Mass {
+		sys.Mass[i] = 1
+	}
+	sys.Acc[0] = vec.V3{}        // no force: coarsest rung
+	sys.Acc[1] = vec.V3{X: 1}    // moderate
+	sys.Acc[2] = vec.V3{X: 4096} // extreme: hits the cap
+	st := &Stepper{Scheme: Block, Eta: 0.05, Eps: 0.05, MaxRung: 4}
+	const dt = 2e-2
+	max := st.assignRungs(sys, dt)
+	if sys.Rung[0] != 0 {
+		t.Fatalf("zero-acceleration body on rung %d, want 0", sys.Rung[0])
+	}
+	// dt_1 = 0.05*sqrt(0.05/1) ~ 0.0112: one halving of dt = 0.02.
+	if sys.Rung[1] != 1 {
+		t.Fatalf("moderate body on rung %d, want 1", sys.Rung[1])
+	}
+	if sys.Rung[2] != 4 || max != 4 {
+		t.Fatalf("extreme body on rung %d (max %d), want the cap 4", sys.Rung[2], max)
+	}
+}

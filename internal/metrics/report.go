@@ -78,6 +78,9 @@ type RunReport struct {
 	// accounting half is always filled, the machine ceilings only when
 	// the renderer calibrates (perfreport -roofline).
 	Roofline *Roofline `json:"roofline,omitempty"`
+	// Stepping aggregates the per-rank time-integration scheduler
+	// accounting (present when the drivers supplied it).
+	Stepping *SteppingStats `json:"stepping,omitempty"`
 	// CommMatrix*: row = sending rank, column = destination rank.
 	CommMatrixMsgs  [][]uint64                   `json:"comm_matrix_msgs,omitempty"`
 	CommMatrixBytes [][]uint64                   `json:"comm_matrix_bytes,omitempty"`
@@ -100,6 +103,29 @@ const (
 	ChaosCrashes  = "chaos_crashes"
 )
 
+// SteppingStats summarizes the time-integration scheduler: how many
+// (sub-)steps ran, how many force evaluations were full vs partial,
+// and what fraction of the bodies the partial evaluations actually
+// computed forces for. ActiveSinks/TotalSinks is the active fraction;
+// its inverse is the force-evaluation saving of block timesteps over
+// uniform stepping at the finest occupied rung. Mirrors
+// integrate.Stats so the report stays decoupled from the integrator.
+type SteppingStats struct {
+	// Mode is "uniform" or "block"; Eta the block criterion scale.
+	Mode           string   `json:"mode"`
+	Eta            float64  `json:"eta,omitempty"`
+	BigSteps       uint64   `json:"big_steps"`
+	SubSteps       uint64   `json:"sub_steps"`
+	FullEvals      uint64   `json:"full_evals"`
+	PartialEvals   uint64   `json:"partial_evals"`
+	ActiveSinks    uint64   `json:"active_sinks"`
+	TotalSinks     uint64   `json:"total_sinks"`
+	ActiveFraction float64  `json:"active_fraction"`
+	// RungOccupancy[r] counts bodies assigned rung r at the
+	// synchronization points, summed over the run.
+	RungOccupancy []uint64 `json:"rung_occupancy,omitempty"`
+}
+
 // RankInput is what one rank's engine contributes to a report.
 type RankInput struct {
 	Counters diag.Counters
@@ -111,6 +137,9 @@ type RankInput struct {
 	Sub         *diag.Timer
 	Rounds      int
 	RemoteCells int
+	// Stepping carries the rank's time-integration scheduler
+	// accounting; aggregated across ranks into RunReport.Stepping.
+	Stepping *SteppingStats
 }
 
 // BuildReport assembles a RunReport from per-rank engine state, the
@@ -170,6 +199,28 @@ func BuildReport(command string, bodies int, wall float64, ranks []RankInput, w 
 		}
 		rep.Totals.Counters.Add(in.Counters)
 		rep.Ranks = append(rep.Ranks, rr)
+		if in.Stepping != nil {
+			if rep.Stepping == nil {
+				rep.Stepping = &SteppingStats{Mode: in.Stepping.Mode, Eta: in.Stepping.Eta,
+					BigSteps: in.Stepping.BigSteps, SubSteps: in.Stepping.SubSteps}
+			}
+			st := rep.Stepping
+			// Steps and evaluations are collective (every rank runs the
+			// same schedule); sinks and occupancy are per-rank shares.
+			st.FullEvals = in.Stepping.FullEvals
+			st.PartialEvals = in.Stepping.PartialEvals
+			st.ActiveSinks += in.Stepping.ActiveSinks
+			st.TotalSinks += in.Stepping.TotalSinks
+			for len(st.RungOccupancy) < len(in.Stepping.RungOccupancy) {
+				st.RungOccupancy = append(st.RungOccupancy, 0)
+			}
+			for r, n := range in.Stepping.RungOccupancy {
+				st.RungOccupancy[r] += n
+			}
+		}
+	}
+	if st := rep.Stepping; st != nil && st.TotalSinks > 0 {
+		st.ActiveFraction = float64(st.ActiveSinks) / float64(st.TotalSinks)
 	}
 	rep.Totals.Interactions = rep.Totals.Counters.Interactions()
 	rep.Totals.Flops = rep.Totals.Counters.Flops()
@@ -241,6 +292,31 @@ func (r *RunReport) Render(w io.Writer) {
 			fmt.Fprintf(w, "  ridge point      %.2f flops/byte\n", rf.RidgeIntensity)
 			fmt.Fprintf(w, "  ceiling          %s (%s-bound)\n", diag.Rate(uint64(rf.Ceiling), 1), rf.Bound)
 			fmt.Fprintf(w, "  utilization      %.1f%% of roofline ceiling\n", rf.Utilization*100)
+		}
+	}
+
+	if st := r.Stepping; st != nil {
+		fmt.Fprintf(w, "\nstepping (%s", st.Mode)
+		if st.Eta > 0 {
+			fmt.Fprintf(w, ", eta=%g", st.Eta)
+		}
+		fmt.Fprintf(w, "):\n")
+		fmt.Fprintf(w, "  steps            %d big, %d sub-steps\n", st.BigSteps, st.SubSteps)
+		fmt.Fprintf(w, "  force evals      %d full, %d partial\n", st.FullEvals, st.PartialEvals)
+		if st.TotalSinks > 0 {
+			fmt.Fprintf(w, "  active fraction  %.4f (%d of %d sink evaluations)\n",
+				st.ActiveFraction, st.ActiveSinks, st.TotalSinks)
+			if st.ActiveFraction > 0 {
+				fmt.Fprintf(w, "  eval saving      %.2fx fewer sink evaluations than uniform sub-stepping\n",
+					1/st.ActiveFraction)
+			}
+		}
+		if len(st.RungOccupancy) > 0 {
+			fmt.Fprintf(w, "  rung occupancy  ")
+			for rr, n := range st.RungOccupancy {
+				fmt.Fprintf(w, " r%d=%d", rr, n)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 

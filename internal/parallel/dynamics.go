@@ -2,33 +2,28 @@ package parallel
 
 import (
 	"repro/internal/diag"
+	"repro/internal/integrate"
 	"repro/internal/msg"
 	"repro/internal/vec"
 )
 
 // Kick advances velocities by dt using the current accelerations.
-func (e *Engine) Kick(dt float64) {
-	for i := range e.Sys.Vel {
-		e.Sys.Vel[i] = e.Sys.Vel[i].Add(e.Sys.Acc[i].Scale(dt))
-	}
-}
+func (e *Engine) Kick(dt float64) { integrate.Kick(e.Sys, dt) }
 
 // Drift advances positions by dt using the current velocities.
-func (e *Engine) Drift(dt float64) {
-	for i := range e.Sys.Pos {
-		e.Sys.Pos[i] = e.Sys.Pos[i].Add(e.Sys.Vel[i].Scale(dt))
-	}
-}
+func (e *Engine) Drift(dt float64) { integrate.Drift(e.Sys, dt) }
 
-// Step advances one kick-drift-kick leapfrog step. The engine's
-// accelerations must be current (call ComputeForces once before the
-// first Step).
+// Step advances one global step through the engine's Stepper: the
+// kick-drift-kick leapfrog by default, hierarchical block sub-steps
+// when the driver configured Stepper.Scheme (a collective either
+// way). The engine's accelerations must be current (call
+// ComputeForces once before the first Step); they are current again
+// on return. Returns this step's interaction-counter delta, summed
+// over however many (partial) evaluations the step ran.
 func (e *Engine) Step(dt float64) diag.Counters {
-	e.Kick(dt / 2)
-	e.Drift(dt)
-	ctr := e.ComputeForces()
-	e.Kick(dt / 2)
-	return ctr
+	start := e.Counters
+	e.Stepper.Step(dt)
+	return e.Counters.Sub(start)
 }
 
 // Energy returns the global kinetic and potential energy (collective;

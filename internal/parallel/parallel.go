@@ -18,7 +18,9 @@ import (
 	"repro/internal/diag"
 	"repro/internal/grav"
 	"repro/internal/hotengine"
+	"repro/internal/integrate"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/tree"
 	"repro/internal/vec"
@@ -65,6 +67,12 @@ type Leaf struct {
 type Engine struct {
 	*hotengine.Engine[hotengine.None, Leaf]
 	Cfg Config
+
+	// Stepper drives Step's time integration through the shared
+	// integrate core. New wires it to this engine (uniform stepping by
+	// default); drivers opt into block timesteps by setting
+	// Stepper.Scheme, Eta and Eps before the first Step.
+	Stepper integrate.Stepper
 
 	phys *physics
 	w    tree.Walker
@@ -119,7 +127,50 @@ func New(c *msg.Comm, sys *core.System, cfg Config) *Engine {
 		MAC: cfg.MAC, Bucket: cfg.Bucket, MaxRounds: cfg.MaxRounds,
 		BuildWorkers: cfg.BuildWorkers, ColdStart: cfg.ColdStart,
 	})
+	e.Stepper.B = engineBodies{e}
 	return e
+}
+
+// Report extends the pipeline's rank input with the stepper's
+// scheduler accounting, so RunReports show the active-fraction and
+// rung-occupancy sections.
+func (e *Engine) Report() metrics.RankInput {
+	in := e.Engine.Report()
+	in.Stepping = SteppingStats(&e.Stepper)
+	return in
+}
+
+// SteppingStats converts a stepper's accumulated accounting into the
+// report schema's mirror struct.
+func SteppingStats(st *integrate.Stepper) *metrics.SteppingStats {
+	mode := "uniform"
+	if st.Scheme == integrate.Block {
+		mode = "block"
+	}
+	s := st.Stats
+	out := &metrics.SteppingStats{
+		Mode: mode, Eta: st.Eta,
+		BigSteps: s.BigSteps, SubSteps: s.SubSteps,
+		FullEvals: s.FullEvals, PartialEvals: s.PartialEvals,
+		ActiveSinks: s.ActiveSinks, TotalSinks: s.TotalSinks,
+		RungOccupancy: append([]uint64(nil), s.Occupancy...),
+	}
+	if s.TotalSinks > 0 {
+		out.ActiveFraction = float64(s.ActiveSinks) / float64(s.TotalSinks)
+	}
+	return out
+}
+
+// engineBodies adapts the engine to integrate.Bodies: forces come
+// from the (possibly partial) parallel evaluation, which may
+// redistribute bodies, and the rung maximum is a world-wide allreduce
+// so every rank runs the same sub-step schedule.
+type engineBodies struct{ e *Engine }
+
+func (b engineBodies) Sys() *core.System  { return b.e.Sys }
+func (b engineBodies) Forces(minRung int) { b.e.computeForces(minRung) }
+func (b engineBodies) MaxRung(local int) int {
+	return msg.Allreduce(b.e.C, local, msg.MaxI, 8)
 }
 
 // source adapts the engine's three cell stores into a tree.Source
@@ -150,16 +201,37 @@ func (s source) LeafBodies(c *tree.Cell) ([]vec.V3, []float64) {
 // Sys.Acc and Sys.Pot hold the forces on the (possibly redistributed)
 // local bodies.
 func (e *Engine) ComputeForces() diag.Counters {
+	return e.computeForces(0)
+}
+
+// ComputeForcesActive is the partial evaluation of block timesteps:
+// only groups holding a body on rung minRung or finer are walked and
+// evaluated (their whole group, so the kernels run unchanged), the
+// decomposition takes the incremental fast path
+// (hotengine.ExchangeIncremental), and the MAC adaptation is frozen --
+// AdaptTol rescales only at full evaluations, so the opening criterion
+// is constant across a big step. minRung <= 0 is exactly
+// ComputeForces. Collective at any minRung: every rank walks, serves
+// requests and enters the same rounds even with no active groups.
+func (e *Engine) ComputeForcesActive(minRung int) diag.Counters {
+	return e.computeForces(minRung)
+}
+
+func (e *Engine) computeForces(minRung int) diag.Counters {
 	start := e.Counters
 
 	// AdaptTol may have rescaled the MAC after the previous
 	// evaluation; the pipeline builds trees with its own copy.
 	e.Engine.Cfg.MAC = e.Cfg.MAC
-	e.Exchange()
+	if minRung <= 0 {
+		e.Exchange()
+	} else {
+		e.ExchangeIncremental()
+	}
 
 	src := source{e}
 	sys := e.Sys
-	e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key {
+	walk := func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key {
 		lo, hi := g.First, g.First+g.N
 		missing := e.w.Walk(src, gk, sys.Pos[lo:hi], &e.Counters)
 		if missing != nil {
@@ -173,24 +245,22 @@ func (e *Engine) ComputeForces() diag.Counters {
 			}
 		}
 		return nil
-	})
+	}
+	if minRung <= 0 {
+		e.WalkGroups("walk", walk)
+	} else {
+		e.WalkGroupsIf("walk", func(g *tree.Cell) bool {
+			return tree.GroupActive(sys, int(g.First), int(g.First+g.N), minRung)
+		}, walk)
+	}
 
-	if e.Cfg.AdaptTol > 0 && e.Cfg.MAC.Kind == grav.MACSalmonWarren {
+	if minRung <= 0 && e.Cfg.AdaptTol > 0 && e.Cfg.MAC.Kind == grav.MACSalmonWarren {
 		if rms := e.RMSAccel(); rms > 0 {
 			e.Cfg.MAC.AccelTol = e.Cfg.AdaptTol * rms
 		}
 	}
 
-	var out diag.Counters
-	out = e.Counters
-	out.PP -= start.PP
-	out.PC -= start.PC
-	out.QuadPC -= start.QuadPC
-	out.CellsBuilt -= start.CellsBuilt
-	out.Traversals -= start.Traversals
-	out.Deferred -= start.Deferred
-	out.Requests -= start.Requests
-	return out
+	return e.Counters.Sub(start)
 }
 
 // RMSAccel returns the global root-mean-square acceleration, used to

@@ -7,6 +7,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/grav"
 	"repro/internal/hotengine"
+	"repro/internal/integrate"
 	"repro/internal/keys"
 	"repro/internal/msg"
 	"repro/internal/tree"
@@ -416,27 +417,30 @@ func (s gsource) LeafBodies(c *tree.Cell) ([]vec.V3, []float64) {
 }
 
 // Kick advances velocities by dt using the current accelerations.
-func (e *ParallelEngine) Kick(dt float64) {
-	for i := range e.Sys.Vel {
-		e.Sys.Vel[i] = e.Sys.Vel[i].Add(e.Sys.Acc[i].Scale(dt))
-	}
-}
+func (e *ParallelEngine) Kick(dt float64) { integrate.Kick(e.Sys, dt) }
 
 // Drift advances positions by dt using the current velocities.
-func (e *ParallelEngine) Drift(dt float64) {
-	for i := range e.Sys.Pos {
-		e.Sys.Pos[i] = e.Sys.Pos[i].Add(e.Sys.Vel[i].Scale(dt))
-	}
+func (e *ParallelEngine) Drift(dt float64) { integrate.Drift(e.Sys, dt) }
+
+// sphBodies adapts the engine to integrate.Bodies. SPH stays on
+// uniform steps -- the hydrodynamic state (density, pressure) has no
+// per-rung partial evaluation here -- so minRung is ignored and every
+// Forces call is a full Eval.
+type sphBodies struct{ e *ParallelEngine }
+
+func (b sphBodies) Sys() *core.System  { return b.e.Sys }
+func (b sphBodies) Forces(int)         { b.e.Eval() }
+func (b sphBodies) MaxRung(local int) int {
+	return msg.Allreduce(b.e.C, local, msg.MaxI, 8)
 }
 
-// Step advances one kick-drift-kick leapfrog step. The engine's
-// accelerations must be current (call Eval once before the first
-// Step). The evaluation inside redistributes particles, so callers
-// must track them by ID.
+// Step advances one uniform kick-drift-kick leapfrog step through the
+// shared integrate core. The engine's accelerations must be current
+// (call Eval once before the first Step). The evaluation inside
+// redistributes particles, so callers must track them by ID.
 func (e *ParallelEngine) Step(dt float64) diag.Counters {
-	e.Kick(dt / 2)
-	e.Drift(dt)
-	ctr := e.Eval()
-	e.Kick(dt / 2)
-	return ctr
+	start := e.Counters
+	st := integrate.Stepper{B: sphBodies{e}}
+	st.Step(dt)
+	return e.Counters.Sub(start)
 }

@@ -3,6 +3,7 @@ package tree
 import (
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/grav"
 	"repro/internal/keys"
@@ -254,6 +255,62 @@ func (t *Tree) Gravity(eps2 float64) diag.Counters {
 	var ctr diag.Counters
 	var w Walker
 	t.gravityGroups(&w, &ctr, 0, len(t.Groups), eps2)
+	return ctr
+}
+
+// GroupActive reports whether the body range [lo,hi) of sys holds any
+// body on rung minRung or finer. Activity is group-granular: a group
+// with one active body is evaluated whole (the inactive members' Acc
+// is overwritten with values they never consume -- their own kicks
+// read Acc only at their own sub-step boundaries, which are full
+// evaluations for them), so the interaction kernels, including the
+// self-interaction, run unchanged. A nil Rung column means rung zero
+// everywhere.
+func GroupActive(sys *core.System, lo, hi, minRung int) bool {
+	if minRung <= 0 || sys.Rung == nil {
+		return true
+	}
+	for _, r := range sys.Rung[lo:hi] {
+		if int(r) >= minRung {
+			return true
+		}
+	}
+	return false
+}
+
+// GravityActive is the partial force evaluation of block timesteps:
+// it walks and evaluates only the groups containing a body on rung
+// minRung or finer, skipping everything else (their Acc, Pot and Work
+// are left untouched). minRung <= 0 degenerates to Gravity -- the
+// identical code path, so a synchronization evaluation is bitwise the
+// uniform one. Inactive bodies still contribute as sources through the
+// tree, which must have been rebuilt from their drifted positions.
+func (t *Tree) GravityActive(eps2 float64, minRung int) diag.Counters {
+	if minRung <= 0 {
+		return t.Gravity(eps2)
+	}
+	var ctr diag.Counters
+	var w Walker
+	w.Kernels = t.Kernels
+	sys := t.Sys
+	for _, gk := range t.Groups {
+		g := t.Cell(gk)
+		lo, hi := g.First, g.First+g.N
+		if !GroupActive(sys, int(lo), int(hi), minRung) {
+			continue
+		}
+		before := ctr.PP + ctr.PC
+		if m := w.Walk(t, gk, sys.Pos[lo:hi], &ctr); m != nil {
+			panic("tree: serial walk reported missing cells")
+		}
+		w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], eps2, t.MAC.Quad, &ctr)
+		if g.N > 0 {
+			per := float64(ctr.PP+ctr.PC-before) / float64(g.N)
+			for i := lo; i < hi; i++ {
+				sys.Work[i] = per
+			}
+		}
+	}
 	return ctr
 }
 

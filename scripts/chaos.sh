@@ -27,41 +27,59 @@ go build -o "$bin" ./cmd/treebench
 runs=0
 aborts=0
 cleans=0
+
+# run_one CMD...: execute one injected run and bucket its exit status.
+run_one() {
+	runs=$((runs + 1))
+	rc=0
+	timeout 120 "$@" >/dev/null 2>/tmp/chaos_err.$$ || rc=$?
+	case "$rc" in
+	0)
+		cleans=$((cleans + 1))
+		;;
+	3)
+		# Contained failure: the stderr must carry the
+		# structured report, not a raw panic trace.
+		if ! grep -q "msg: world aborted" /tmp/chaos_err.$$; then
+			echo "FAIL (exit 3 without a WorldError): $*" >&2
+			cat /tmp/chaos_err.$$ >&2
+			exit 1
+		fi
+		aborts=$((aborts + 1))
+		;;
+	124)
+		echo "FAIL (hang, killed by timeout): $*" >&2
+		exit 1
+		;;
+	*)
+		echo "FAIL (uncontained exit $rc): $*" >&2
+		cat /tmp/chaos_err.$$ >&2
+		exit 1
+		;;
+	esac
+}
+
 for np in 2 8; do
 	for spec in \
 		"crash=0.002" \
 		"stall=0.002,latency=0.02"; do
 		for seed in $seeds; do
-			runs=$((runs + 1))
-			cmd="$bin -n 3000 -procs $np -steps 2 -watchdog 2s -chaos seed=$seed,$spec"
-			rc=0
-			timeout 120 $cmd >/dev/null 2>/tmp/chaos_err.$$ || rc=$?
-			case "$rc" in
-			0)
-				cleans=$((cleans + 1))
-				;;
-			3)
-				# Contained failure: the stderr must carry the
-				# structured report, not a raw panic trace.
-				if ! grep -q "msg: world aborted" /tmp/chaos_err.$$; then
-					echo "FAIL (exit 3 without a WorldError): $cmd" >&2
-					cat /tmp/chaos_err.$$ >&2
-					exit 1
-				fi
-				aborts=$((aborts + 1))
-				;;
-			124)
-				echo "FAIL (hang, killed by timeout): $cmd" >&2
-				exit 1
-				;;
-			*)
-				echo "FAIL (uncontained exit $rc): $cmd" >&2
-				cat /tmp/chaos_err.$$ >&2
-				exit 1
-				;;
-			esac
+			run_one "$bin" -n 3000 -procs "$np" -steps 2 -watchdog 2s -chaos "seed=$seed,$spec"
 		done
 	done
 done
+
+# Block-timestep pass: the hierarchical scheduler multiplies the
+# collectives per step (sub-step evaluations, rung allreduces, the
+# splits-reuse decision), so one crash/stall spec soaks that schedule
+# too -- containment must hold no matter which collective the fault
+# lands in.
+for np in 2 8; do
+	for seed in $seeds; do
+		run_one "$bin" -n 3000 -procs "$np" -steps 2 -dtmode=block -eta 0.02 \
+			-watchdog 2s -chaos "seed=$seed,crash=0.001,stall=0.001,latency=0.02"
+	done
+done
+
 rm -f /tmp/chaos_err.$$
 echo "chaos: $runs runs, $cleans clean, $aborts contained aborts, 0 hangs"

@@ -15,7 +15,8 @@ echo "== go test -race"
 go test -race ./...
 echo "== go test -race -count=1 (concurrency-heavy packages, uncached)"
 go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./internal/msg \
-	./internal/core ./internal/tree ./internal/domain ./internal/abm ./internal/hotengine
+	./internal/core ./internal/tree ./internal/domain ./internal/abm ./internal/hotengine \
+	./internal/integrate
 echo "== chaos soak (bounded, fixed seeds; clean exit or structured abort, never a hang)"
 sh scripts/chaos.sh quick
 echo "== bce (hot interaction kernels stay bounds-check-free, -d=ssa/check_bce)"
@@ -25,13 +26,17 @@ echo "== benchcmp (construction + walker ablations vs BENCH_baseline.json, tol 1
 	go test -run='^$' -bench=Ablation_Batched -benchtime=1x .
 	go test -run='^$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x .
 } | go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_(Batched|Sort|Build|Decompose)' -tol 0.15
-echo "== benchcmp (interaction-kernel ablations, tol 50%)"
-# The Eval benches measure sub-millisecond kernels, so shared-machine
-# clock steal swings their ns/op far more than the second-scale
-# benches above; the loose timing tolerance only catches catastrophic
+echo "== benchcmp (interaction-kernel + stepper ablations, tol 50%)"
+# The Eval benches measure sub-millisecond kernels and the Step
+# benches one single-iteration global step, so shared-machine clock
+# steal swings their ns/op far more than the second-scale benches
+# above; the loose timing tolerance only catches catastrophic
 # regressions. The real guards are allocs/op (benchdump fails on ANY
-# growth -- the kernels must stay allocation-free) and the BCE golden
-# above.
-go test -run='^$' -bench='Ablation_Eval' -benchtime=100x . |
-	go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_Eval' -tol 0.5
+# growth -- the kernels must stay allocation-free), the BCE golden
+# above, and for the stepper the bitwise-equivalence and energy-pin
+# tests plus the active-fraction metrics the benches report.
+{
+	go test -run='^$' -bench='Ablation_Eval' -benchtime=100x .
+	go test -run='^$' -bench='Ablation_Step' -benchtime=1x .
+} | go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_(Eval|Step)' -tol 0.5
 echo "== ok"

@@ -1,0 +1,74 @@
+package hot
+
+import (
+	"math"
+	"testing"
+)
+
+// The serial engine's block scheduler with every body on rung zero is
+// bit for bit the historical uniform leapfrog: same tree builds, same
+// group walks, same kicks.
+func TestSerialBlockOneRungBitwise(t *testing.T) {
+	bodies := PlummerSphere(1500, 1, 5)
+	uni, err := NewSerial(bodies, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := NewSerial(bodies, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enormous eta: the acceleration criterion puts everything on rung
+	// zero, so each global step is one full evaluation.
+	blk.EnableBlockSteps(1e9)
+	const dt, steps = 1e-3, 3
+	for s := 0; s < steps; s++ {
+		iu := uni.Step(dt)
+		ib := blk.Step(dt)
+		if iu.Interactions != ib.Interactions {
+			t.Fatalf("step %d: %d interactions uniform, %d block", s, iu.Interactions, ib.Interactions)
+		}
+	}
+	bu, bb := uni.Bodies(), blk.Bodies()
+	for i := range bu {
+		if bu[i] != bb[i] {
+			t.Fatalf("body %d diverged: uniform %+v, block %+v", i, bu[i], bb[i])
+		}
+	}
+	if st := blk.StepperStats(); st.PartialEvals != 0 || st.FullEvals != steps {
+		t.Fatalf("one-rung block ran %d partial + %d full evals", st.PartialEvals, st.FullEvals)
+	}
+}
+
+// Multi-rung serial block stepping: partial evaluations engage, the
+// active set shrinks, and the energy stays on the uniform scale.
+func TestSerialBlockPartialEvals(t *testing.T) {
+	bodies := PlummerSphere(3000, 1, 5)
+	uni, err := NewSerial(bodies, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := NewSerial(bodies, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk.EnableBlockSteps(0.02)
+	const dt, steps = 1e-3, 3
+	var iu, ib StepInfo
+	for s := 0; s < steps; s++ {
+		iu = uni.Step(dt)
+		ib = blk.Step(dt)
+	}
+	st := blk.StepperStats()
+	if st.PartialEvals == 0 {
+		t.Fatalf("no partial evaluations engaged: %+v", st)
+	}
+	if 2*st.ActiveSinks >= st.TotalSinks {
+		t.Fatalf("active fraction %.3f, want the clustered Plummer core to keep it below 0.5",
+			float64(st.ActiveSinks)/float64(st.TotalSinks))
+	}
+	eu, eb := iu.Kinetic+iu.Potential, ib.Kinetic+ib.Potential
+	if rel := math.Abs((eb - eu) / eu); rel > 1e-4 {
+		t.Fatalf("block energy %g departs from uniform %g by %g relative", eb, eu, rel)
+	}
+}
