@@ -21,6 +21,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/render"
 	"repro/internal/snapio"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vec"
 )
@@ -40,9 +41,12 @@ func main() {
 	watchdog := flag.Duration("watchdog", 0, "abort with a stall report after this long without progress (0 = off)")
 	dtmode := flag.String("dtmode", "uniform", "time stepping: uniform (one rung) or block (hierarchical per-body sub-steps)")
 	eta := flag.Float64("eta", 0.02, "block-timestep criterion scale: dt_i = eta*sqrt(eps/|a_i|)")
+	httpAddr := flag.String("http", "", "serve live telemetry (/metrics /series /health /report /debug/pprof) on this address (:0 picks a port)")
+	noProgress := flag.Duration("noprogress", 3*time.Second, "telemetry no-progress health threshold (with -http; 0 = off)")
 	flag.Parse()
+	lg := telemetry.NewLogger(os.Stderr, "cosmosim")
 	if *dtmode != "uniform" && *dtmode != "block" {
-		fmt.Fprintf(os.Stderr, "cosmosim: unknown -dtmode %q (want uniform or block)\n", *dtmode)
+		lg.Error("unknown -dtmode (want uniform or block)", "dtmode", *dtmode)
 		os.Exit(1)
 	}
 
@@ -50,7 +54,7 @@ func main() {
 		Grid: *grid, Box: 1.0, DeltaRMS: 0.25, ShapeGamma: 8, Seed: 12345,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		lg.Error("realization failed", "err", err)
 		os.Exit(1)
 	}
 	full, h0 := r.ICs()
@@ -60,24 +64,42 @@ func main() {
 	if *cpuprofile != "" {
 		stop, err := trace.StartCPUProfile(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			lg.Error("cpuprofile failed", "err", err)
 			os.Exit(1)
 		}
 		defer stop()
 	}
 
 	// Observability: -trace records per-rank timelines, -metrics
-	// feeds the stall histogram and the final RunReport. Both are
-	// nil (zero-cost) when the flags are off.
+	// feeds the stall histogram and the final RunReport, -http serves
+	// all of it live. Everything is nil (zero-cost) when the flags are
+	// off.
 	var run *trace.Run
-	if *traceOut != "" {
+	if *traceOut != "" || *httpAddr != "" {
 		run = trace.NewRun(*procs)
 	}
 	var reg *metrics.Registry
 	var stalls *metrics.Histogram
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
 		reg = metrics.NewRegistry()
 		stalls = reg.Histogram(metrics.StallHistogram)
+	}
+	var tel *telemetry.Sampler
+	if *httpAddr != "" {
+		mon := telemetry.DefaultMonitors()
+		mon.NoProgress = *noProgress
+		mon.Log = lg
+		tel = telemetry.NewSampler(telemetry.Config{
+			NP: *procs, Registry: reg, Trace: run, Monitors: mon, Command: "cosmosim",
+		})
+		defer tel.Close()
+		ep, err := telemetry.Serve(*httpAddr, tel, lg)
+		if err != nil {
+			lg.Error("telemetry endpoint failed", "err", err)
+			os.Exit(1)
+		}
+		defer ep.Close()
+		fmt.Printf("telemetry: listening on %s\n", ep.Addr)
 	}
 
 	n := sys.Len()
@@ -85,7 +107,7 @@ func main() {
 	w := msg.NewWorld(*procs)
 	w.SetTrace(run)
 	if *watchdog > 0 {
-		w.StartWatchdog(msg.WatchdogConfig{Quiet: *watchdog, Stacks: true})
+		w.StartWatchdog(msg.WatchdogConfig{Quiet: *watchdog, Stacks: true, Log: lg})
 	}
 	start := time.Now()
 	werr := w.RunErr(func(c *msg.Comm) {
@@ -108,9 +130,17 @@ func main() {
 			e.EnableTrace(run.Rank(c.Rank()))
 		}
 		e.Stalls = stalls
+		t0 := time.Now()
 		e.ComputeForces()
+		if tel != nil {
+			tel.Contribute(c.Rank(), e.Telemetry(time.Since(t0).Nanoseconds()))
+		}
 		for s := 0; s < *steps; s++ {
+			t0 = time.Now()
 			ctr := e.Step(5e-4)
+			if tel != nil {
+				tel.Contribute(c.Rank(), e.Telemetry(time.Since(t0).Nanoseconds()))
+			}
 			if s%5 == 0 || s == *steps-1 {
 				// Energy is a collective: every rank participates.
 				kin, pot := e.Energy()
@@ -126,7 +156,7 @@ func main() {
 	if werr != nil {
 		// Structured abort (exit 3): a contained failure, as opposed
 		// to a crash (panic) or a hang (external timeout).
-		fmt.Fprintln(os.Stderr, werr)
+		lg.Error("world aborted", "err", werr)
 		os.Exit(3)
 	}
 
@@ -148,30 +178,35 @@ func main() {
 			inputs[r] = e.Report()
 		}
 		rep := metrics.BuildReport("cosmosim", out.Len(), wall, inputs, w, reg)
+		rep.TraceDropped = run.Dropped()
 		if err := rep.WriteFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
+			lg.Error("metrics write failed", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote RunReport %s (render: go run ./cmd/perfreport %s)\n", *metricsOut, *metricsOut)
 	}
 	if *traceOut != "" {
 		if err := run.WriteChromeFile(*traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
+			lg.Error("trace write failed", "err", err)
 			os.Exit(1)
+		}
+		if d := run.Dropped(); d > 0 {
+			lg.Warn("trace ring dropped events; exported timeline is incomplete",
+				"dropped", d, "path", *traceOut)
 		}
 		fmt.Printf("wrote trace %s (%d events dropped); open in chrome://tracing or ui.perfetto.dev\n",
 			*traceOut, run.Dropped())
 	}
 	if *memprofile != "" {
 		if err := trace.WriteHeapProfile(*memprofile); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			lg.Error("memprofile failed", "err", err)
 			os.Exit(1)
 		}
 	}
 
 	if *snapEvery > 0 {
 		if err := snapio.WriteStriped(*outDir, "cosmo", out, float64(*steps), 4); err != nil {
-			fmt.Fprintln(os.Stderr, "snapshot:", err)
+			lg.Error("snapshot write failed", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote striped snapshot cosmo.* (4 stripes) in %s\n", *outDir)
@@ -179,7 +214,7 @@ func main() {
 	if *image != "" {
 		img := render.Project(out, vec.V3{}, 0.55, 512, 512)
 		if err := img.WritePGM(*image); err != nil {
-			fmt.Fprintln(os.Stderr, "image:", err)
+			lg.Error("image write failed", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *image)

@@ -14,12 +14,16 @@
 //	                                 render both side by side and exit
 //	                                 non-zero if the current flop rate
 //	                                 regressed more than -tol (15%)
+//	perfreport -follow host:port     poll a running driver's -http
+//	                                 telemetry endpoint into a
+//	                                 refreshing terminal dashboard
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -28,7 +32,17 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two reports: perfreport -diff base.json cur.json")
 	tol := flag.Float64("tol", 0.15, "fractional flop-rate drop tolerated by -diff before failing")
 	roofline := flag.Bool("roofline", false, "measure this host's compute/bandwidth ceilings and calibrate the roofline section")
+	followAddr := flag.String("follow", "", "poll a live -http telemetry endpoint (host:port) into a refreshing terminal view")
+	interval := flag.Duration("interval", time.Second, "poll interval for -follow")
 	flag.Parse()
+
+	if *followAddr != "" {
+		if err := follow(*followAddr, *interval); err != nil {
+			fmt.Fprintln(os.Stderr, "perfreport:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/sph"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vec"
 )
@@ -34,31 +35,51 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a machine-readable RunReport JSON of the gas run (needs -procs > 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	httpAddr := flag.String("http", "", "serve live telemetry (/metrics /series /health /report /debug/pprof) on this address (:0 picks a port)")
+	noProgress := flag.Duration("noprogress", 3*time.Second, "telemetry no-progress health threshold (with -http; 0 = off)")
 	flag.Parse()
+	lg := telemetry.NewLogger(os.Stderr, "sphsim")
 
 	if *cpuprofile != "" {
 		stop, err := trace.StartCPUProfile(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			lg.Error("cpuprofile failed", "err", err)
 			os.Exit(1)
 		}
 		defer stop()
 	}
-	if (*traceOut != "" || *metricsOut != "") && *procs <= 1 {
-		fmt.Fprintln(os.Stderr, "-trace/-metrics instrument the distributed engine; use -procs > 1")
+	if (*traceOut != "" || *metricsOut != "" || *httpAddr != "") && *procs <= 1 {
+		lg.Error("-trace/-metrics/-http instrument the distributed engine; use -procs > 1")
 		os.Exit(1)
 	}
 	// Only the gas run is instrumented: it is the physics of interest;
 	// the pressureless control is a reference computation.
 	var run *trace.Run
-	if *traceOut != "" {
+	if *traceOut != "" || *httpAddr != "" {
 		run = trace.NewRun(*procs)
 	}
 	var reg *metrics.Registry
 	var stalls *metrics.Histogram
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
 		reg = metrics.NewRegistry()
 		stalls = reg.Histogram(metrics.StallHistogram)
+	}
+	var tel *telemetry.Sampler
+	if *httpAddr != "" {
+		mon := telemetry.DefaultMonitors()
+		mon.NoProgress = *noProgress
+		mon.Log = lg
+		tel = telemetry.NewSampler(telemetry.Config{
+			NP: *procs, Registry: reg, Trace: run, Monitors: mon, Command: "sphsim",
+		})
+		defer tel.Close()
+		ep, err := telemetry.Serve(*httpAddr, tel, lg)
+		if err != nil {
+			lg.Error("telemetry endpoint failed", "err", err)
+			os.Exit(1)
+		}
+		defer ep.Close()
+		fmt.Printf("telemetry: listening on %s\n", ep.Addr)
 	}
 
 	fmt.Printf("N = %d gas particles, %d steps of dt = %g", *n, *steps, *dt)
@@ -70,27 +91,32 @@ func main() {
 	var ctrGas, ctrCtl diag.Counters
 	if *procs > 1 {
 		start := time.Now()
-		gasRun := runParallel(*n, *steps, *dt, *cs, *procs, run, stalls)
+		gasRun := runParallel(*n, *steps, *dt, *cs, *procs, run, stalls, tel)
 		wall := time.Since(start).Seconds()
 		gas, ctrGas = gasRun.sys, gasRun.total
 
 		if *metricsOut != "" {
 			rep := metrics.BuildReport("sphsim", gas.Len(), wall, gasRun.inputs, gasRun.world, reg)
+			rep.TraceDropped = run.Dropped()
 			if err := rep.WriteFile(*metricsOut); err != nil {
-				fmt.Fprintln(os.Stderr, "metrics:", err)
+				lg.Error("metrics write failed", "err", err)
 				os.Exit(1)
 			}
 			fmt.Printf("wrote RunReport %s\n", *metricsOut)
 		}
 		if *traceOut != "" {
 			if err := run.WriteChromeFile(*traceOut); err != nil {
-				fmt.Fprintln(os.Stderr, "trace:", err)
+				lg.Error("trace write failed", "err", err)
 				os.Exit(1)
+			}
+			if d := run.Dropped(); d > 0 {
+				lg.Warn("trace ring dropped events; exported timeline is incomplete",
+					"dropped", d, "path", *traceOut)
 			}
 			fmt.Printf("wrote trace %s (%d events dropped)\n", *traceOut, run.Dropped())
 		}
 
-		ctl := runParallel(*n, *steps, *dt, 0, *procs, nil, nil)
+		ctl := runParallel(*n, *steps, *dt, 0, *procs, nil, nil, nil)
 		control, ctrCtl = ctl.sys, ctl.total
 	} else {
 		gas, ctrGas = serialRun(*n, *steps, *dt, *cs)
@@ -98,7 +124,7 @@ func main() {
 	}
 	if *memprofile != "" {
 		if err := trace.WriteHeapProfile(*memprofile); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			lg.Error("memprofile failed", "err", err)
 			os.Exit(1)
 		}
 	}
@@ -165,10 +191,10 @@ type parallelRun struct {
 // each in-process rank owns a slab of particles and the hotengine
 // pipeline handles decomposition, halo exchange and the gravity walk.
 // The pressureless control disables viscosity along with the sound
-// speed, which zeroes the SPH acceleration exactly. run and stalls,
-// when non-nil, instrument every rank.
+// speed, which zeroes the SPH acceleration exactly. run, stalls and
+// tel, when non-nil, instrument every rank.
 func runParallel(n, steps int, dt, cs float64, procs int,
-	run *trace.Run, stalls *metrics.Histogram) parallelRun {
+	run *trace.Run, stalls *metrics.Histogram, tel *telemetry.Sampler) parallelRun {
 	p := sph.Params{EOS: sph.Isothermal, CS: cs, AlphaVisc: 1, BetaVisc: 2}
 	if cs == 0 {
 		p.AlphaVisc, p.BetaVisc = 0, 0
@@ -203,9 +229,17 @@ func runParallel(n, steps int, dt, cs float64, procs int,
 			e.EnableTrace(run.Rank(c.Rank()))
 		}
 		e.Stalls = stalls
+		t0 := time.Now()
 		ctr := e.Eval()
+		if tel != nil {
+			tel.Contribute(c.Rank(), e.Telemetry(time.Since(t0).Nanoseconds()))
+		}
 		for s := 0; s < steps; s++ {
+			t0 = time.Now()
 			ctr.Add(e.Step(dt))
+			if tel != nil {
+				tel.Contribute(c.Rank(), e.Telemetry(time.Since(t0).Nanoseconds()))
+			}
 		}
 
 		mu.Lock()

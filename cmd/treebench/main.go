@@ -20,6 +20,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/parallel"
 	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -38,29 +39,52 @@ func main() {
 	watchdog := flag.Duration("watchdog", 0, "abort with a stall report after this long without progress (0 = off; chaos runs default to 5s)")
 	dtmode := flag.String("dtmode", "uniform", "time stepping: uniform (one rung) or block (hierarchical per-body sub-steps)")
 	eta := flag.Float64("eta", 0.02, "block-timestep criterion scale: dt_i = eta*sqrt(eps/|a_i|)")
+	httpAddr := flag.String("http", "", "serve live telemetry (/metrics /series /health /report /debug/pprof) on this address (:0 picks a port)")
+	noProgress := flag.Duration("noprogress", 3*time.Second, "telemetry no-progress health threshold (with -http; 0 = off)")
 	flag.Parse()
+	lg := telemetry.NewLogger(os.Stderr, "treebench")
 	if *dtmode != "uniform" && *dtmode != "block" {
-		fmt.Fprintf(os.Stderr, "treebench: unknown -dtmode %q (want uniform or block)\n", *dtmode)
+		lg.Error("unknown -dtmode (want uniform or block)", "dtmode", *dtmode)
 		os.Exit(1)
 	}
 
 	if *cpuprofile != "" {
 		stop, err := trace.StartCPUProfile(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			lg.Error("cpuprofile failed", "err", err)
 			os.Exit(1)
 		}
 		defer stop()
 	}
 	var run *trace.Run
-	if *traceOut != "" {
+	if *traceOut != "" || *httpAddr != "" {
 		run = trace.NewRun(*procs)
 	}
 	var reg *metrics.Registry
 	var stalls *metrics.Histogram
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
 		reg = metrics.NewRegistry()
 		stalls = reg.Histogram(metrics.StallHistogram)
+	}
+
+	var tel *telemetry.Sampler
+	if *httpAddr != "" {
+		mon := telemetry.DefaultMonitors()
+		mon.NoProgress = *noProgress
+		mon.Log = lg
+		tel = telemetry.NewSampler(telemetry.Config{
+			NP: *procs, Registry: reg, Trace: run, Monitors: mon, Command: "treebench",
+		})
+		defer tel.Close()
+		ep, err := telemetry.Serve(*httpAddr, tel, lg)
+		if err != nil {
+			lg.Error("telemetry endpoint failed", "err", err)
+			os.Exit(1)
+		}
+		defer ep.Close()
+		// The smoke test (scripts/telemetry_smoke.sh) greps this line to
+		// discover the :0-assigned port.
+		fmt.Printf("telemetry: listening on %s\n", ep.Addr)
 	}
 
 	global := ic.Plummer(*n, 1.0, 42)
@@ -76,7 +100,7 @@ func main() {
 	if *chaosSpec != "" {
 		var err error
 		if inj, err = parseChaos(*chaosSpec); err != nil {
-			fmt.Fprintln(os.Stderr, "chaos:", err)
+			lg.Error("bad chaos spec", "err", err)
 			os.Exit(2)
 		}
 		w.SetInjector(inj)
@@ -85,7 +109,7 @@ func main() {
 		}
 	}
 	if *watchdog > 0 {
-		w.StartWatchdog(msg.WatchdogConfig{Quiet: *watchdog, Stacks: true})
+		w.StartWatchdog(msg.WatchdogConfig{Quiet: *watchdog, Stacks: true, Log: lg})
 	}
 	start := time.Now()
 	werr := w.RunErr(func(c *msg.Comm) {
@@ -105,17 +129,27 @@ func main() {
 			e.EnableTrace(run.Rank(c.Rank()))
 		}
 		e.Stalls = stalls
+		t0 := time.Now()
 		e.ComputeForces()
+		if tel != nil {
+			// The initial evaluation is sample 1: energies are current
+			// here, giving the drift monitor its E0 baseline.
+			tel.Contribute(c.Rank(), e.Telemetry(time.Since(t0).Nanoseconds()))
+		}
 		for s := 0; s < *steps; s++ {
+			t0 = time.Now()
 			e.Step(1e-3)
+			if tel != nil {
+				tel.Contribute(c.Rank(), e.Telemetry(time.Since(t0).Nanoseconds()))
+			}
 		}
 		engines[c.Rank()] = e
 	})
 	wall := time.Since(start).Seconds()
 	if inj != nil {
 		st := inj.Stats()
-		fmt.Fprintf(os.Stderr, "chaos: injected delays=%d reorders=%d stalls=%d crashes=%d\n",
-			st.Delays, st.Reorders, st.Stalls, st.Crashes)
+		lg.Info("chaos: injection summary",
+			"delays", st.Delays, "reorders", st.Reorders, "stalls", st.Stalls, "crashes", st.Crashes)
 		if reg != nil {
 			reg.Counter(metrics.ChaosDelays).Add(st.Delays)
 			reg.Counter(metrics.ChaosReorders).Add(st.Reorders)
@@ -126,7 +160,7 @@ func main() {
 	if werr != nil {
 		// Structured abort: exit code 3 distinguishes a contained
 		// failure from a crash (panic) or a hang (harness timeout).
-		fmt.Fprintln(os.Stderr, werr)
+		lg.Error("world aborted", "err", werr)
 		os.Exit(3)
 	}
 
@@ -162,22 +196,27 @@ func main() {
 			inputs[r] = e.Report()
 		}
 		rep := metrics.BuildReport("treebench", *n, wall, inputs, w, reg)
+		rep.TraceDropped = run.Dropped()
 		if err := rep.WriteFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
+			lg.Error("metrics write failed", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote RunReport %s\n", *metricsOut)
 	}
 	if *traceOut != "" {
 		if err := run.WriteChromeFile(*traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
+			lg.Error("trace write failed", "err", err)
 			os.Exit(1)
+		}
+		if d := run.Dropped(); d > 0 {
+			lg.Warn("trace ring dropped events; exported timeline is incomplete",
+				"dropped", d, "path", *traceOut)
 		}
 		fmt.Printf("wrote trace %s (%d events dropped)\n", *traceOut, run.Dropped())
 	}
 	if *memprofile != "" {
 		if err := trace.WriteHeapProfile(*memprofile); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			lg.Error("memprofile failed", "err", err)
 			os.Exit(1)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vec"
 	"repro/internal/vortex"
@@ -35,29 +36,49 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a machine-readable RunReport JSON (needs -procs > 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	httpAddr := flag.String("http", "", "serve live telemetry (/metrics /series /health /report /debug/pprof) on this address (:0 picks a port)")
+	noProgress := flag.Duration("noprogress", 3*time.Second, "telemetry no-progress health threshold (with -http; 0 = off)")
 	flag.Parse()
+	lg := telemetry.NewLogger(os.Stderr, "vortexsim")
 
 	if *cpuprofile != "" {
 		stop, err := trace.StartCPUProfile(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			lg.Error("cpuprofile failed", "err", err)
 			os.Exit(1)
 		}
 		defer stop()
 	}
-	if (*traceOut != "" || *metricsOut != "") && *procs <= 1 {
-		fmt.Fprintln(os.Stderr, "-trace/-metrics instrument the distributed engine; use -procs > 1")
+	if (*traceOut != "" || *metricsOut != "" || *httpAddr != "") && *procs <= 1 {
+		lg.Error("-trace/-metrics/-http instrument the distributed engine; use -procs > 1")
 		os.Exit(1)
 	}
 	var run *trace.Run
-	if *traceOut != "" {
+	if *traceOut != "" || *httpAddr != "" {
 		run = trace.NewRun(*procs)
 	}
 	var reg *metrics.Registry
 	var stalls *metrics.Histogram
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
 		reg = metrics.NewRegistry()
 		stalls = reg.Histogram(metrics.StallHistogram)
+	}
+	var tel *telemetry.Sampler
+	if *httpAddr != "" {
+		mon := telemetry.DefaultMonitors()
+		mon.NoProgress = *noProgress
+		mon.Log = lg
+		tel = telemetry.NewSampler(telemetry.Config{
+			NP: *procs, Registry: reg, Trace: run, Monitors: mon, Command: "vortexsim",
+		})
+		defer tel.Close()
+		ep, err := telemetry.Serve(*httpAddr, tel, lg)
+		if err != nil {
+			lg.Error("telemetry endpoint failed", "err", err)
+			os.Exit(1)
+		}
+		defer ep.Close()
+		fmt.Printf("telemetry: listening on %s\n", ep.Addr)
 	}
 
 	sys := core.New(0)
@@ -73,7 +94,7 @@ func main() {
 	var inputs []metrics.RankInput
 	start := time.Now()
 	if *procs > 1 {
-		sys, total, w, inputs = runParallel(sys, *steps, *dt, *sigma, *theta, *procs, run, stalls)
+		sys, total, w, inputs = runParallel(sys, *steps, *dt, *sigma, *theta, *procs, run, stalls, tel)
 	} else {
 		for s := 0; s < *steps; s++ {
 			ctr := vortex.Step(sys, *sigma, *theta, *dt)
@@ -102,22 +123,27 @@ func main() {
 
 	if *metricsOut != "" {
 		rep := metrics.BuildReport("vortexsim", sys.Len(), wall, inputs, w, reg)
+		rep.TraceDropped = run.Dropped()
 		if err := rep.WriteFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
+			lg.Error("metrics write failed", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote RunReport %s\n", *metricsOut)
 	}
 	if *traceOut != "" {
 		if err := run.WriteChromeFile(*traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
+			lg.Error("trace write failed", "err", err)
 			os.Exit(1)
+		}
+		if d := run.Dropped(); d > 0 {
+			lg.Warn("trace ring dropped events; exported timeline is incomplete",
+				"dropped", d, "path", *traceOut)
 		}
 		fmt.Printf("wrote trace %s (%d events dropped)\n", *traceOut, run.Dropped())
 	}
 	if *memprofile != "" {
 		if err := trace.WriteHeapProfile(*memprofile); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			lg.Error("memprofile failed", "err", err)
 			os.Exit(1)
 		}
 	}
@@ -129,9 +155,9 @@ func main() {
 // batched request rounds. Returns the gathered final system and the
 // summed counters; rank 0 prints the per-phase timer breakdown the
 // shared core provides (the diagnostics parity gravity always had).
-// run and stalls, when non-nil, instrument every rank.
+// run, stalls and tel, when non-nil, instrument every rank.
 func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs int,
-	run *trace.Run, stalls *metrics.Histogram) (*core.System, diag.Counters, *msg.World, []metrics.RankInput) {
+	run *trace.Run, stalls *metrics.Histogram, tel *telemetry.Sampler) (*core.System, diag.Counters, *msg.World, []metrics.RankInput) {
 	n := global.Len()
 	var mu sync.Mutex
 	var total diag.Counters
@@ -156,7 +182,11 @@ func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs
 		}
 		e.Stalls = stalls
 		for s := 0; s < steps; s++ {
+			t0 := time.Now()
 			e.Step(dt)
+			if tel != nil {
+				tel.Contribute(c.Rank(), e.Telemetry(time.Since(t0).Nanoseconds()))
+			}
 		}
 
 		mu.Lock()

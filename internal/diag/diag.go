@@ -166,6 +166,20 @@ func (t *Timer) Phases() []string {
 	return append([]string(nil), t.order...)
 }
 
+// SnapshotSeconds returns the banked per-phase seconds as a fresh map
+// (the open phase, if any, is not included until its Stop). Like
+// Start/Stop it may only be called by the owning goroutine; the
+// telemetry sampler calls it from the rank's own step loop and hands
+// the returned map across, which is what makes mid-run phase
+// reporting safe without adding locks here.
+func (t *Timer) SnapshotSeconds() map[string]float64 {
+	out := make(map[string]float64, len(t.phases))
+	for p, d := range t.phases {
+		out[p] = d.Seconds()
+	}
+	return out
+}
+
 // Total returns the sum over all phases.
 func (t *Timer) Total() time.Duration {
 	var sum time.Duration

@@ -46,6 +46,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/metrics"
 	"repro/internal/msg"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tree"
 )
@@ -226,6 +227,28 @@ func (e *Engine[X, B]) Report() metrics.RankInput {
 		Sub:         e.Sub,
 		Rounds:      e.Rounds,
 		RemoteCells: e.RemoteCells,
+	}
+}
+
+// TelemetrySample packages this rank's cumulative pipeline state for
+// the live sampler: everything here is either owned by the rank
+// goroutine (counters, timers, traffic record) or copied, so the call
+// is safe mid-run where Report (which shares Timer pointers) is not.
+// stepNs is the rank's wall-clock for the step just finished. The
+// physics engines wrap this with their invariants (energy, stepping).
+func (e *Engine[X, B]) TelemetrySample(stepNs int64) telemetry.RankSample {
+	phases := e.Timer.SnapshotSeconds()
+	for ph, s := range e.Sub.SnapshotSeconds() {
+		phases[ph] = s
+	}
+	return telemetry.RankSample{
+		Counters:    e.Counters,
+		StepNs:      stepNs,
+		Phases:      phases,
+		Rounds:      e.Rounds,
+		RemoteCells: e.RemoteCells,
+		Sent:        e.C.TrafficTotal(),
+		Bodies:      e.Sys.Len(),
 	}
 }
 

@@ -196,6 +196,28 @@ func (st *Stepper) assignRungs(sys *core.System, dt float64) int {
 	return localMax
 }
 
+// CountRungs tallies the system's current rung occupancy into out
+// (rungs past len(out) are clamped into the last bin). Unlike
+// Stats.Occupancy, which accumulates over the whole run, this is the
+// instantaneous distribution -- what the live telemetry sampler
+// reports per step. A nil Rung column is all rung zero.
+func CountRungs(sys *core.System, out []uint64) {
+	if len(out) == 0 {
+		return
+	}
+	if sys.Rung == nil {
+		out[0] += uint64(sys.Len())
+		return
+	}
+	for _, r := range sys.Rung {
+		i := int(r)
+		if i >= len(out) {
+			i = len(out) - 1
+		}
+		out[i]++
+	}
+}
+
 // countActive returns how many bodies are active at minRung.
 func countActive(sys *core.System, minRung int) uint64 {
 	if minRung <= 0 || sys.Rung == nil {
@@ -240,6 +262,6 @@ type FuncBodies struct {
 	Force func(sys *core.System, minRung int)
 }
 
-func (b *FuncBodies) Sys() *core.System    { return b.System }
-func (b *FuncBodies) Forces(minRung int)   { b.Force(b.System, minRung) }
+func (b *FuncBodies) Sys() *core.System     { return b.System }
+func (b *FuncBodies) Forces(minRung int)    { b.Force(b.System, minRung) }
 func (b *FuncBodies) MaxRung(local int) int { return local }

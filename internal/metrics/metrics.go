@@ -249,6 +249,36 @@ func (r *Registry) Values() map[string]float64 {
 	return out
 }
 
+// Counters returns every counter's current value by name. Unlike
+// Values it keeps the metric kind, which Prometheus exposition needs
+// for its TYPE lines. Nil-safe (nil).
+func (r *Registry) Counters() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns every gauge's current value by name. Nil-safe (nil).
+func (r *Registry) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
 // Snapshots returns every histogram's summary. Nil-safe (nil).
 func (r *Registry) Snapshots() map[string]HistogramSnapshot {
 	if r == nil {

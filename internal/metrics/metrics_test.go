@@ -1,8 +1,11 @@
 package metrics
 
 import (
+	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/diag"
 )
 
 func TestCounterGaugeNilSafety(t *testing.T) {
@@ -78,6 +81,49 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	}
 }
 
+// Quantile edge cases: the extremes of q, a single sample, and the
+// max-clamp when the true quantile shares a bucket with the maximum.
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Single sample: every quantile is that sample (its bucket upper
+	// bound clamps to the exact observed max).
+	var one Histogram
+	one.Observe(700) // bucket [512,1024)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 700 {
+			t.Fatalf("single-sample Quantile(%g) = %d, want 700", q, got)
+		}
+	}
+
+	var h Histogram
+	h.Observe(3) // bucket [2,4)
+	h.Observe(100)
+	h.Observe(1000)
+	// q=0 still resolves to rank 1 (the smallest sample's bucket), not
+	// a zero division or an empty answer.
+	if q0 := h.Quantile(0); q0 != 3 {
+		t.Fatalf("Quantile(0) = %d, want 3 (bucket [2,4) clamps to max-in-bucket... observed 3)", q0)
+	}
+	// q=1 is exactly the observed max, not the bucket top (1023).
+	if q1 := h.Quantile(1); q1 != 1000 {
+		t.Fatalf("Quantile(1) = %d, want the exact observed max 1000", q1)
+	}
+
+	// Max-clamp inside a bucket: two samples in [512,1024); p50's
+	// bucket top is 1023 but the observed max 600 is tighter.
+	var cl Histogram
+	cl.Observe(520)
+	cl.Observe(600)
+	if p50 := cl.Quantile(0.5); p50 != 600 {
+		t.Fatalf("Quantile(0.5) = %d, want clamped to observed max 600", p50)
+	}
+	// ...but the clamp must not apply across buckets: with a later
+	// sample in a higher bucket, p50 keeps its own bucket's bound.
+	cl.Observe(5000)
+	if p50 := cl.Quantile(0.5); p50 != 1023 {
+		t.Fatalf("Quantile(0.5) = %d, want bucket top 1023 (max lives in a higher bucket)", p50)
+	}
+}
+
 func TestHistogramZeroAndEmpty(t *testing.T) {
 	var h Histogram
 	if h.Quantile(0.5) != 0 || h.Snapshot().Count != 0 {
@@ -86,6 +132,50 @@ func TestHistogramZeroAndEmpty(t *testing.T) {
 	h.Observe(0)
 	if h.Count() != 1 || h.Quantile(0.99) != 0 {
 		t.Fatal("zero sample mishandled")
+	}
+}
+
+// The detached RankInput path: PhaseSeconds instead of live timers,
+// SentMsgs/SentBytes instead of a msg.World -- what the live-telemetry
+// sampler feeds BuildReport mid-run.
+func TestBuildReportDetachedInputs(t *testing.T) {
+	inputs := []RankInput{
+		{Counters: diag.Counters{PP: 100},
+			PhaseSeconds: map[string]float64{"walk": 2, "treebuild": 1},
+			SentMsgs:     5, SentBytes: 1000},
+		{Counters: diag.Counters{PP: 60},
+			PhaseSeconds: map[string]float64{"walk": 3},
+			SentMsgs:     7, SentBytes: 2000},
+	}
+	rep := BuildReport("live", 200, 1.0, inputs, nil, nil)
+	if rep.Totals.Interactions != 160 {
+		t.Fatalf("interactions = %d", rep.Totals.Interactions)
+	}
+	if rep.Totals.Msgs != 12 || rep.Totals.Bytes != 3000 {
+		t.Fatalf("detached traffic not totaled: %d/%d", rep.Totals.Msgs, rep.Totals.Bytes)
+	}
+	if rep.Ranks[1].SentBytes != 2000 || rep.Ranks[0].PhaseSeconds["walk"] != 2 {
+		t.Fatalf("rank rows = %+v", rep.Ranks)
+	}
+	var walk *PhaseBalance
+	for i := range rep.Phases {
+		if rep.Phases[i].Phase == "walk" {
+			walk = &rep.Phases[i]
+		}
+	}
+	if walk == nil || walk.Max != 3 {
+		t.Fatalf("phase balance from detached seconds = %+v", rep.Phases)
+	}
+}
+
+// TraceDropped must surface in the rendered report as a warning.
+func TestRenderWarnsOnDroppedTraceEvents(t *testing.T) {
+	rep := BuildReport("x", 10, 1.0, []RankInput{{}}, nil, nil)
+	rep.TraceDropped = 42
+	var b strings.Builder
+	rep.Render(&b)
+	if !strings.Contains(b.String(), "42 trace events dropped") {
+		t.Fatalf("render missing drop warning:\n%s", b.String())
 	}
 }
 

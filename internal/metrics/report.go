@@ -81,6 +81,11 @@ type RunReport struct {
 	// Stepping aggregates the per-rank time-integration scheduler
 	// accounting (present when the drivers supplied it).
 	Stepping *SteppingStats `json:"stepping,omitempty"`
+	// TraceDropped counts trace events discarded by full rank rings
+	// (trace.Run.Dropped at report time); non-zero means the exported
+	// Chrome timeline has holes and should not be read as complete
+	// evidence.
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 	// CommMatrix*: row = sending rank, column = destination rank.
 	CommMatrixMsgs  [][]uint64                   `json:"comm_matrix_msgs,omitempty"`
 	CommMatrixBytes [][]uint64                   `json:"comm_matrix_bytes,omitempty"`
@@ -112,15 +117,15 @@ const (
 // integrate.Stats so the report stays decoupled from the integrator.
 type SteppingStats struct {
 	// Mode is "uniform" or "block"; Eta the block criterion scale.
-	Mode           string   `json:"mode"`
-	Eta            float64  `json:"eta,omitempty"`
-	BigSteps       uint64   `json:"big_steps"`
-	SubSteps       uint64   `json:"sub_steps"`
-	FullEvals      uint64   `json:"full_evals"`
-	PartialEvals   uint64   `json:"partial_evals"`
-	ActiveSinks    uint64   `json:"active_sinks"`
-	TotalSinks     uint64   `json:"total_sinks"`
-	ActiveFraction float64  `json:"active_fraction"`
+	Mode           string  `json:"mode"`
+	Eta            float64 `json:"eta,omitempty"`
+	BigSteps       uint64  `json:"big_steps"`
+	SubSteps       uint64  `json:"sub_steps"`
+	FullEvals      uint64  `json:"full_evals"`
+	PartialEvals   uint64  `json:"partial_evals"`
+	ActiveSinks    uint64  `json:"active_sinks"`
+	TotalSinks     uint64  `json:"total_sinks"`
+	ActiveFraction float64 `json:"active_fraction"`
 	// RungOccupancy[r] counts bodies assigned rung r at the
 	// synchronization points, summed over the run.
 	RungOccupancy []uint64 `json:"rung_occupancy,omitempty"`
@@ -140,6 +145,15 @@ type RankInput struct {
 	// Stepping carries the rank's time-integration scheduler
 	// accounting; aggregated across ranks into RunReport.Stepping.
 	Stepping *SteppingStats
+	// PhaseSeconds is the detached alternative to Timer/Sub: a plain
+	// per-phase seconds map, read only when both timers are nil. The
+	// live-telemetry sampler builds reports from copies, not from the
+	// ranks' own (still-running) timers.
+	PhaseSeconds map[string]float64
+	// SentMsgs/SentBytes are the detached alternative to the msg.World
+	// traffic lookup, read only when w == nil.
+	SentMsgs  uint64
+	SentBytes uint64
 }
 
 // BuildReport assembles a RunReport from per-rank engine state, the
@@ -187,6 +201,26 @@ func BuildReport(command string, bodies int, wall float64, ranks []RankInput, w 
 					phaseOrder = append(phaseOrder, ph)
 				}
 			}
+		}
+		if in.Timer == nil && in.Sub == nil && len(in.PhaseSeconds) > 0 {
+			rr.PhaseSeconds = map[string]float64{}
+			names := make([]string, 0, len(in.PhaseSeconds))
+			for ph := range in.PhaseSeconds {
+				names = append(names, ph)
+			}
+			sort.Strings(names) // deterministic balance-table order
+			for _, ph := range names {
+				rr.PhaseSeconds[ph] = in.PhaseSeconds[ph]
+				if !phaseSeen[ph] {
+					phaseSeen[ph] = true
+					phaseOrder = append(phaseOrder, ph)
+				}
+			}
+		}
+		if w == nil {
+			rr.SentMsgs, rr.SentBytes = in.SentMsgs, in.SentBytes
+			rep.Totals.Msgs += in.SentMsgs
+			rep.Totals.Bytes += in.SentBytes
 		}
 		if w != nil {
 			t := w.RankTraffic(r)
@@ -278,6 +312,9 @@ func (r *RunReport) Render(w io.Writer) {
 		r.Totals.Flops, r.Constants.FlopsPerInteraction, diag.Rate(r.Totals.Flops, r.WallSeconds))
 	if r.Totals.Msgs > 0 {
 		fmt.Fprintf(w, "traffic: %d msgs, %.3f MB total\n", r.Totals.Msgs, float64(r.Totals.Bytes)/1e6)
+	}
+	if r.TraceDropped > 0 {
+		fmt.Fprintf(w, "WARNING: %d trace events dropped (ring full); timeline is incomplete\n", r.TraceDropped)
 	}
 
 	if rf := r.Roofline; rf != nil && rf.KernelBytes > 0 {

@@ -359,6 +359,14 @@ func (c *Comm) NoteRound(n uint64) {
 // CurrentPhase returns the active phase label.
 func (c *Comm) CurrentPhase() string { return c.phase }
 
+// TrafficTotal returns this rank's cumulative outbound traffic. Safe
+// to call mid-run from the rank's own goroutine (only the owning rank
+// writes its Traffic record); the telemetry sampler reads it once per
+// step.
+func (c *Comm) TrafficTotal() PhaseTraffic {
+	return c.w.traffic[c.rank].Total()
+}
+
 // Send delivers data to rank dst under a user tag (>= 0). bytes is
 // the logical payload size for traffic accounting; the data itself is
 // shared by reference, so the receiver must not mutate it unless the

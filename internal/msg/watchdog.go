@@ -14,6 +14,7 @@ package msg
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -39,8 +40,16 @@ type WatchdogConfig struct {
 	Quiet time.Duration
 	// Poll is the sampling interval (0 = Quiet/4).
 	Poll time.Duration
-	// Out receives the stall dump (nil = os.Stderr).
+	// Out receives the stall dump (nil = os.Stderr). Ignored when Log
+	// is set.
 	Out io.Writer
+	// Log, when non-nil, receives the dump as structured records
+	// instead of Out: one error record for the stall, one per-rank
+	// record with rank/phase/seq/round/blocked attributes, and the
+	// stacks as an attribute. When nil, a JSON handler is built on Out,
+	// so the dump is machine-parseable either way and interleaves with
+	// the drivers' shared slog stream.
+	Log *slog.Logger
 	// Stacks includes every goroutine's stack in the dump.
 	Stacks bool
 }
@@ -66,6 +75,9 @@ func (w *World) StartWatchdog(cfg WatchdogConfig) *Watchdog {
 	}
 	if cfg.Out == nil {
 		cfg.Out = os.Stderr
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewJSONHandler(cfg.Out, nil))
 	}
 	if w.wd != nil {
 		panic("msg: world already has a watchdog")
@@ -114,14 +126,20 @@ func (wd *Watchdog) loop() {
 // fire dumps the diagnosis and aborts the world.
 func (wd *Watchdog) fire(quiet time.Duration) {
 	states := wd.w.States()
-	out := wd.cfg.Out
-	fmt.Fprintf(out, "msg watchdog: no progress for %v; per-rank state:\n", quiet.Round(time.Millisecond))
+	lg := wd.cfg.Log
+	lg.Error("msg watchdog: no progress, aborting world",
+		"quiet", quiet.Round(time.Millisecond).String(), "ranks", len(states))
 	for _, s := range states {
-		fmt.Fprintf(out, "  %s\n", s)
+		blocked := "-"
+		if s.Blocked {
+			blocked = fmt.Sprintf("recv src=%d tag=%d", s.BlockedSrc, s.BlockedTag)
+		}
+		lg.Error("msg watchdog: rank state",
+			"rank", s.Rank, "phase", s.Phase, "seq", s.Seq, "round", s.Round,
+			"blocked", blocked)
 	}
 	if wd.cfg.Stacks {
-		fmt.Fprintf(out, "goroutine stacks:\n")
-		out.Write(diag.Stacks())
+		lg.Error("msg watchdog: goroutine stacks", "stacks", string(diag.Stacks()))
 	}
 	wd.w.trace.MarkAll("watchdog.stall")
 	wd.w.Abort(RankWatchdog, &StallError{Quiet: quiet})

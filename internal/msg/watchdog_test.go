@@ -2,6 +2,7 @@ package msg
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"strings"
 	"sync"
@@ -51,15 +52,24 @@ func TestWatchdogDetectsStall(t *testing.T) {
 			t.Fatalf("cause is %T, want *StallError: %v", err.Cause, err)
 		}
 	})
+	// The dump is structured JSON (one record per line) so it
+	// interleaves machine-parseably with the drivers' slog stream.
 	out := dump.String()
 	for _, want := range []string{
 		"msg watchdog: no progress",
-		`rank 0: phase="deadlock"`,
-		"blocked=recv src=1 tag=99",
-		"goroutine", // the stack dump
+		`"phase":"deadlock"`,
+		`"blocked":"recv src=1 tag=99"`,
+		`"level":"ERROR"`,
+		"goroutine", // the stack dump attribute
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dump missing %q; got:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("dump line is not JSON: %v\n%s", err, line)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/integrate"
 	"repro/internal/msg"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -24,6 +25,30 @@ func (e *Engine) Step(dt float64) diag.Counters {
 	start := e.Counters
 	e.Stepper.Step(dt)
 	return e.Counters.Sub(start)
+}
+
+// Telemetry extends the pipeline's rank sample with gravity's
+// invariants and the scheduler accounting: the energy and momentum
+// contributions are this rank's partial sums (no collective -- the
+// sampler adds the ranks up), SubSteps..TotalSinks the cumulative
+// stepper totals, Rungs the current occupancy. Call from the rank's
+// own goroutine right after Step, where Acc/Pot are current.
+func (e *Engine) Telemetry(stepNs int64) telemetry.RankSample {
+	rs := e.Engine.TelemetrySample(stepNs)
+	rs.HasEnergy = true
+	for i := range e.Sys.Vel {
+		rs.Kinetic += 0.5 * e.Sys.Mass[i] * e.Sys.Vel[i].Norm2()
+		rs.Potential += 0.5 * e.Sys.Mass[i] * e.Sys.Pot[i]
+		rs.Momentum = rs.Momentum.Add(e.Sys.Vel[i].Scale(e.Sys.Mass[i]))
+	}
+	s := e.Stepper.Stats
+	rs.SubSteps = s.SubSteps
+	rs.FullEvals = s.FullEvals
+	rs.PartialEvals = s.PartialEvals
+	rs.ActiveSinks = s.ActiveSinks
+	rs.TotalSinks = s.TotalSinks
+	integrate.CountRungs(e.Sys, rs.Rungs[:])
+	return rs
 }
 
 // Energy returns the global kinetic and potential energy (collective;

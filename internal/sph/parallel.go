@@ -10,6 +10,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/keys"
 	"repro/internal/msg"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/vec"
 )
@@ -428,8 +429,8 @@ func (e *ParallelEngine) Drift(dt float64) { integrate.Drift(e.Sys, dt) }
 // Forces call is a full Eval.
 type sphBodies struct{ e *ParallelEngine }
 
-func (b sphBodies) Sys() *core.System  { return b.e.Sys }
-func (b sphBodies) Forces(int)         { b.e.Eval() }
+func (b sphBodies) Sys() *core.System { return b.e.Sys }
+func (b sphBodies) Forces(int)        { b.e.Eval() }
 func (b sphBodies) MaxRung(local int) int {
 	return msg.Allreduce(b.e.C, local, msg.MaxI, 8)
 }
@@ -443,4 +444,23 @@ func (e *ParallelEngine) Step(dt float64) diag.Counters {
 	st := integrate.Stepper{B: sphBodies{e}}
 	st.Step(dt)
 	return e.Counters.Sub(start)
+}
+
+// Telemetry extends the pipeline's rank sample with SPH's invariants:
+// this rank's partial kinetic energy and momentum (plus gravitational
+// potential when the gravity pass runs), summed across ranks by the
+// sampler. Call from the rank's own goroutine right after Step.
+func (e *ParallelEngine) Telemetry(stepNs int64) telemetry.RankSample {
+	rs := e.Engine.TelemetrySample(stepNs)
+	rs.HasEnergy = true
+	for i := range e.Sys.Vel {
+		rs.Kinetic += 0.5 * e.Sys.Mass[i] * e.Sys.Vel[i].Norm2()
+		rs.Momentum = rs.Momentum.Add(e.Sys.Vel[i].Scale(e.Sys.Mass[i]))
+	}
+	if e.Cfg.Gravity {
+		for i := range e.Sys.Pot {
+			rs.Potential += 0.5 * e.Sys.Mass[i] * e.Sys.Pot[i]
+		}
+	}
+	return rs
 }

@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// Every route must answer mid-run from sampler-owned copies.
+func TestHTTPRoutes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewSampler(Config{NP: 1, Registry: reg, Command: "bench",
+		Monitors: MonitorConfig{Log: discard()}})
+	defer s.Close()
+	reg.Histogram(metrics.StallHistogram).Observe(12345)
+	s.Contribute(0, rank(100, 10e6, 5, 1000))
+
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	code, index := get(t, srv, "/")
+	if code != 200 || !strings.Contains(index, "/series") || !strings.Contains(index, "bench") {
+		t.Fatalf("index = %d:\n%s", code, index)
+	}
+
+	code, prom := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE telemetry_samples counter",
+		"# TYPE telemetry_step_ms gauge",
+		"telemetry_step_ms 10",
+		"# TYPE walk_stall_ns summary",
+		`walk_stall_ns{quantile="0.99"}`,
+		"walk_stall_ns_count 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q; got:\n%s", want, prom)
+		}
+	}
+
+	code, body := get(t, srv, "/series?n=5")
+	if code != 200 {
+		t.Fatalf("/series = %d", code)
+	}
+	var series struct {
+		Samples []Sample `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/series JSON: %v\n%s", err, body)
+	}
+	if len(series.Samples) != 1 || series.Samples[0].Interactions != 100 {
+		t.Fatalf("/series = %+v", series.Samples)
+	}
+
+	code, body = get(t, srv, "/health")
+	if code != 200 {
+		t.Fatalf("/health = %d", code)
+	}
+	var health struct {
+		Status string        `json:"status"`
+		Events []HealthEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/health JSON: %v", err)
+	}
+	if health.Status != "ok" || len(health.Events) != 0 {
+		t.Fatalf("/health = %+v on a healthy run", health)
+	}
+
+	code, body = get(t, srv, "/report")
+	if code != 200 {
+		t.Fatalf("/report = %d", code)
+	}
+	var rep metrics.RunReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/report JSON: %v", err)
+	}
+	if rep.Command != "bench" || rep.Totals.Interactions != 100 {
+		t.Fatalf("/report = command %q, %d interactions", rep.Command, rep.Totals.Interactions)
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, _ := get(t, srv, "/nope"); code != 404 {
+		t.Fatalf("unknown route = %d, want 404", code)
+	}
+}
+
+// /health must evaluate liveness on inspection, so a pull-only
+// deployment (no background watcher is strictly needed) still sees a
+// flatlined run go critical.
+func TestHealthRouteDetectsFlatline(t *testing.T) {
+	s := NewSampler(Config{NP: 1, Monitors: MonitorConfig{
+		NoProgress: 20 * time.Millisecond, Log: discard()}})
+	defer s.Close()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get(t, srv, "/health")
+		var health struct {
+			Status string `json:"status"`
+		}
+		json.Unmarshal([]byte(body), &health)
+		if health.Status == "critical" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/health never went critical: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A nil sampler serves honest emptiness, not panics: the endpoint can
+// be mounted before telemetry is enabled.
+func TestHandlerNilSampler(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	if code, body := get(t, srv, "/"); code != 200 || !strings.Contains(body, "disabled") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _ := get(t, srv, "/metrics"); code != 200 {
+		t.Fatalf("/metrics on nil sampler = %d", code)
+	}
+	if code, _ := get(t, srv, "/series"); code != 200 {
+		t.Fatalf("/series on nil sampler = %d", code)
+	}
+	if code, _ := get(t, srv, "/health"); code != 200 {
+		t.Fatalf("/health on nil sampler = %d", code)
+	}
+	if code, _ := get(t, srv, "/report"); code != 503 {
+		t.Fatalf("/report on nil sampler = %d, want 503", code)
+	}
+}
+
+// Serve binds :0, reports the real address, and Close is idempotent
+// and nil-safe.
+func TestServeAndClose(t *testing.T) {
+	s := NewSampler(Config{NP: 1, Monitors: MonitorConfig{Log: discard()}})
+	defer s.Close()
+	ep, err := Serve("127.0.0.1:0", s, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ep.Addr, ":") || strings.HasSuffix(ep.Addr, ":0") {
+		t.Fatalf("Addr = %q, want a resolved port", ep.Addr)
+	}
+	resp, err := http.Get("http://" + ep.Addr + "/")
+	if err != nil {
+		t.Fatalf("GET live endpoint: %v", err)
+	}
+	resp.Body.Close()
+	ep.Close()
+	var nilEp *Endpoint
+	nilEp.Close()
+}
+
+// The exposition format itself: typed counters and gauges, histograms
+// as summaries.
+func TestWritePrometheus(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("reqs_total").Add(7)
+	reg.Gauge("temp").Set(1.5)
+	h := reg.Histogram("lat_ns")
+	h.Observe(100)
+	h.Observe(200)
+
+	var b strings.Builder
+	WritePrometheus(&b, reg)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter\nreqs_total 7\n",
+		"# TYPE temp gauge\ntemp 1.5\n",
+		"# TYPE lat_ns summary\n",
+		"lat_ns_sum 300\n",
+		"lat_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	WritePrometheus(&b, nil)
+	if b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", b.String())
+	}
+
+	if got := promName("walk stall.p99"); got != "walk_stall_p99" {
+		t.Fatalf("promName = %q", got)
+	}
+}

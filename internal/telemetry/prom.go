@@ -1,0 +1,73 @@
+// Prometheus text exposition (version 0.0.4) of a metrics.Registry:
+// counters and gauges typed as such, histograms flattened to the
+// summary convention (<name>{quantile="..."} plus _sum and _count).
+// Hand-rolled because the repo deliberately has no external
+// dependencies; the format is four line shapes and a comment.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// WritePrometheus writes reg in the Prometheus text exposition format.
+// A nil registry writes nothing (an empty exposition is valid).
+func WritePrometheus(w io.Writer, reg *metrics.Registry) {
+	counters := reg.Counters()
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[n])
+	}
+
+	gauges := reg.Gauges()
+	names = names[:0]
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, gauges[n])
+	}
+
+	hists := reg.Snapshots()
+	names = names[:0]
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := hists[n]
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", pn, h.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %d\n", pn, h.P90)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+// promName maps a registry name onto the Prometheus charset
+// [a-zA-Z0-9_:]; anything else becomes '_'. Registry names are already
+// snake_case, so this is a guard, not a renamer.
+func promName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -39,6 +39,11 @@ func (r *Run) WriteChromeTrace(w io.Writer) error {
 		put(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"rank %d"}}`, rank, rank))
 		put(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":0,"args":{"name":"phases"}}`, rank))
 	}
+	if d := r.Dropped(); d > 0 {
+		// Stamp the loss into the export itself: a timeline with holes
+		// must say so where the person reading it will look.
+		put(fmt.Sprintf(`{"name":"trace_dropped_events","ph":"M","pid":0,"tid":0,"args":{"dropped":%d}}`, d))
+	}
 	for _, ev := range r.Events() {
 		ts := float64(ev.Start) / 1e3
 		switch ev.Kind {

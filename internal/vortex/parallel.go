@@ -7,6 +7,7 @@ import (
 	"repro/internal/hotengine"
 	"repro/internal/keys"
 	"repro/internal/msg"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/vec"
 )
@@ -218,4 +219,11 @@ func (e *ParallelEngine) Step(dt float64) {
 		e.Sys.Pos[i] = s.X.Add(e.Sys.Vel[i].Scale(dt))
 		e.Sys.Alpha[i] = s.A.Add(d2[i].Scale(dt))
 	}
+}
+
+// Telemetry returns the pipeline's rank sample. Vortex dynamics has no
+// softened potential to sum, so HasEnergy stays false and the
+// energy-drift monitor never arms on vortex runs.
+func (e *ParallelEngine) Telemetry(stepNs int64) telemetry.RankSample {
+	return e.TelemetrySample(stepNs)
 }

@@ -16,7 +16,9 @@ go test -race ./...
 echo "== go test -race -count=1 (concurrency-heavy packages, uncached)"
 go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./internal/msg \
 	./internal/core ./internal/tree ./internal/domain ./internal/abm ./internal/hotengine \
-	./internal/integrate
+	./internal/integrate ./internal/telemetry
+echo "== telemetry smoke (treebench -http: scrape /metrics /report /series /health)"
+sh scripts/telemetry_smoke.sh
 echo "== chaos soak (bounded, fixed seeds; clean exit or structured abort, never a hang)"
 sh scripts/chaos.sh quick
 echo "== bce (hot interaction kernels stay bounds-check-free, -d=ssa/check_bce)"
