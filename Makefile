@@ -23,7 +23,7 @@ chaos:
 # interaction-kernel benches (Eval) run 100 for the same reason.
 bench-baseline:
 	go run ./cmd/treebench -n 50000 -procs 4 -steps 1 -metrics /tmp/treebench_report.json >/dev/null
-	{ go test -run='^$$' -bench='Ablation_(MAC|Order|Group|Batched|Hash|Rsqrt|Curve|ABM|Step)' -benchtime=1x . ; \
+	{ go test -run='^$$' -bench='Ablation_(MAC|Order|Group|Batched|Hash|Rsqrt|Curve|ABM|Step|WalkOverlap|Prefetch)' -benchtime=1x . ; \
 	  go test -run='^$$' -bench='Ablation_(Sort|Build|Decompose)' -benchtime=5x . ; \
 	  go test -run='^$$' -bench='Ablation_Eval' -benchtime=100x . ; } \
 	  | go run ./cmd/benchdump -runreport /tmp/treebench_report.json -o BENCH_baseline.json

@@ -9,7 +9,10 @@ package hot
 
 import (
 	"math"
+	"runtime/debug"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
@@ -19,8 +22,10 @@ import (
 	"repro/internal/htab"
 	"repro/internal/ic"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/npb"
+	"repro/internal/parallel"
 	"repro/internal/perfmodel"
 	"repro/internal/rsqrt"
 	"repro/internal/tree"
@@ -617,3 +622,67 @@ func BenchmarkPaperAccounting(b *testing.B) {
 	b.ReportMetric(float64(ctr.Flops())/float64(ctr.Interactions()), "flops/interaction")
 	_ = vec.V3{}
 }
+
+// --- latency hiding ------------------------------------------------------
+
+// benchWalkPipeline measures the distributed walk phase of one full
+// force evaluation at np=8 on a 100k Plummer sphere, under injected
+// in-flight message latency (deterministic: every send of every config
+// draws the same delays from the same seed, so on/off is a fair A/B).
+// The reported walk_s/op is the slowest rank's walk-phase wall clock;
+// stall_p99_ms the p99 of the per-group deferral stalls. With the
+// pipeline on, the rank goroutine walks fresh groups and retries
+// just-promoted ones inside the reply collectives' latency windows
+// (the Progress hook), so walk_s/op drops while forces stay bitwise
+// identical (TestOverlapBitwiseForceEquivalence).
+func benchWalkPipeline(b *testing.B, workers, slots, prefetch int) {
+	const n, np = 100000, 8
+	// The fixture churns ~100 MB of IC + tree heap per iteration; at the
+	// default GOGC the collector's single-core pauses land directly on
+	// the packed critical path and swamp the on/off delta. Relax it
+	// identically for every config so the A/B measures overlap, not
+	// allocator noise.
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-3, Quad: true}
+	var walkSec, p99ms float64
+	var inter uint64
+	for i := 0; i < b.N; i++ {
+		w := msg.NewWorld(np)
+		w.SetInjector(&msg.Injector{Seed: 7, LatencyProb: 1, MaxLatency: 40 * time.Millisecond})
+		reg := metrics.NewRegistry()
+		stalls := reg.Histogram(metrics.StallHistogram)
+		var mu sync.Mutex
+		walkSec, inter = 0, 0
+		w.Run(func(c *msg.Comm) {
+			global := ic.Plummer(n, 1.0, 11)
+			local := core.New(0)
+			local.EnableDynamics()
+			lo, hi := c.Rank()*n/np, (c.Rank()+1)*n/np
+			for j := lo; j < hi; j++ {
+				local.AppendFrom(global, j)
+			}
+			e := parallel.New(c, local, parallel.Config{
+				MAC: mac, Eps2: 1e-6, Bucket: 16,
+				EvalWorkers: workers, EvalSlots: slots, PrefetchDepth: prefetch,
+			})
+			defer e.Close()
+			e.Stalls = stalls
+			e.ComputeForces()
+			mu.Lock()
+			defer mu.Unlock()
+			if s := e.Timer.Get("walk").Seconds(); s > walkSec {
+				walkSec = s
+			}
+			inter += e.Counters.Interactions()
+		})
+		p99ms = float64(stalls.Quantile(0.99)) / 1e6
+	}
+	b.ReportMetric(walkSec, "walk_s/op")
+	b.ReportMetric(p99ms, "stall_p99_ms")
+	b.ReportMetric(float64(inter), "interactions/op")
+}
+
+func BenchmarkAblation_WalkOverlapOff(b *testing.B) { benchWalkPipeline(b, 0, 0, 0) }
+func BenchmarkAblation_WalkOverlapOn(b *testing.B)  { benchWalkPipeline(b, 1, 0, 0) }
+func BenchmarkAblation_PrefetchD0(b *testing.B)     { benchWalkPipeline(b, 0, 0, 0) }
+func BenchmarkAblation_PrefetchD1(b *testing.B)     { benchWalkPipeline(b, 0, 0, 1) }

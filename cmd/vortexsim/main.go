@@ -38,6 +38,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	httpAddr := flag.String("http", "", "serve live telemetry (/metrics /series /health /report /debug/pprof) on this address (:0 picks a port)")
 	noProgress := flag.Duration("noprogress", 3*time.Second, "telemetry no-progress health threshold (with -http; 0 = off)")
+	evalWorkers := flag.Int("evalworkers", 0, "walk/eval pipeline workers for the distributed run: completed groups evaluate under the batched-message collectives (0 = inline historical schedule; results identical either way)")
+	prefetch := flag.Int("prefetch", 0, "serve-side prefetch depth for the distributed run: replies piggyback the subtree below each requested cell (0 = off)")
 	flag.Parse()
 	lg := telemetry.NewLogger(os.Stderr, "vortexsim")
 
@@ -94,7 +96,7 @@ func main() {
 	var inputs []metrics.RankInput
 	start := time.Now()
 	if *procs > 1 {
-		sys, total, w, inputs = runParallel(sys, *steps, *dt, *sigma, *theta, *procs, run, stalls, tel)
+		sys, total, w, inputs = runParallel(sys, *steps, *dt, *sigma, *theta, *procs, *evalWorkers, *prefetch, run, stalls, tel)
 	} else {
 		for s := 0; s < *steps; s++ {
 			ctr := vortex.Step(sys, *sigma, *theta, *dt)
@@ -156,7 +158,7 @@ func main() {
 // summed counters; rank 0 prints the per-phase timer breakdown the
 // shared core provides (the diagnostics parity gravity always had).
 // run, stalls and tel, when non-nil, instrument every rank.
-func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs int,
+func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs, evalWorkers, prefetch int,
 	run *trace.Run, stalls *metrics.Histogram, tel *telemetry.Sampler) (*core.System, diag.Counters, *msg.World, []metrics.RankInput) {
 	n := global.Len()
 	var mu sync.Mutex
@@ -177,6 +179,9 @@ func runParallel(global *core.System, steps int, dt, sigma, theta float64, procs
 		}
 
 		e := vortex.NewParallel(c, local, sigma, theta)
+		if evalWorkers > 0 || prefetch > 0 {
+			e.EnableOverlap(evalWorkers, prefetch)
+		}
 		if run != nil {
 			e.EnableTrace(run.Rank(c.Rank()))
 		}

@@ -54,6 +54,21 @@ type Engine[Req, Rep any] struct {
 	// Trace, when non-nil, receives one "abm.round" span per Round
 	// call on this rank's timeline (nil = off, zero cost).
 	Trace *trace.Tracer
+	// RepBytes, when set, gives each reply's wire size individually
+	// and the reply exchange accounts batches as the sum over their
+	// elements -- the hook for variable-size replies (a cell plus its
+	// piggybacked prefetch subtree). When nil the fixed repBytes from
+	// New is used.
+	RepBytes func(Rep) int
+	// OnReply, when set, is invoked on the calling goroutine as each
+	// source's reply batch arrives during Round (in source order, the
+	// local batch at its own position), instead of the caller reading
+	// the returned slice afterwards. Early batches are processed while
+	// later sources are still in flight, which is what lets a caller's
+	// Progress hook act on freshly delivered data inside the same
+	// round. Must not communicate; batches remain valid until the next
+	// Round.
+	OnReply func(src int, reps []Rep)
 }
 
 // New creates an engine on communicator c. reqBytes and repBytes are
@@ -120,7 +135,19 @@ func (e *Engine[Req, Rep]) Round() [][]Rep {
 		}
 		replies[src] = reps
 	}
-	e.repRecv = msg.AlltoallvInto(e.c, replies, e.repRecv, e.repBytes)
+	switch {
+	case e.OnReply != nil:
+		bytesOf := e.RepBytes
+		if bytesOf == nil {
+			per := e.repBytes
+			bytesOf = func(Rep) int { return per }
+		}
+		e.repRecv = msg.AlltoallvSizedFunc(e.c, replies, e.repRecv, bytesOf, e.OnReply)
+	case e.RepBytes != nil:
+		e.repRecv = msg.AlltoallvSizedInto(e.c, replies, e.repRecv, e.RepBytes)
+	default:
+		e.repRecv = msg.AlltoallvInto(e.c, replies, e.repRecv, e.repBytes)
+	}
 	// The reply exchange above is the synchronization point: every
 	// server has finished reading this round's request batches, so the
 	// drained queues can be recycled for posting.

@@ -26,6 +26,12 @@ type Counters struct {
 	Requests   uint64 // remote cell requests issued
 	VortexPP   uint64 // vortex body-body interactions
 	SPHPairs   uint64 // SPH neighbor pairs evaluated
+	// Prefetch accounting (serve-side subtree prefetch): Prefetched
+	// counts speculatively imported cells, PrefetchUsed the subset a
+	// walk actually resolved. Prefetched - PrefetchUsed is the wasted
+	// speculation.
+	Prefetched   uint64
+	PrefetchUsed uint64
 }
 
 // Paper flop-accounting constants.
@@ -74,21 +80,25 @@ func (c *Counters) Add(other Counters) {
 	c.Requests += other.Requests
 	c.VortexPP += other.VortexPP
 	c.SPHPairs += other.SPHPairs
+	c.Prefetched += other.Prefetched
+	c.PrefetchUsed += other.PrefetchUsed
 }
 
 // Sub returns the field-wise difference c - other: the per-step delta
 // between two snapshots of an accumulating counter set.
 func (c Counters) Sub(other Counters) Counters {
 	return Counters{
-		PP:         c.PP - other.PP,
-		PC:         c.PC - other.PC,
-		QuadPC:     c.QuadPC - other.QuadPC,
-		CellsBuilt: c.CellsBuilt - other.CellsBuilt,
-		Traversals: c.Traversals - other.Traversals,
-		Deferred:   c.Deferred - other.Deferred,
-		Requests:   c.Requests - other.Requests,
-		VortexPP:   c.VortexPP - other.VortexPP,
-		SPHPairs:   c.SPHPairs - other.SPHPairs,
+		PP:           c.PP - other.PP,
+		PC:           c.PC - other.PC,
+		QuadPC:       c.QuadPC - other.QuadPC,
+		CellsBuilt:   c.CellsBuilt - other.CellsBuilt,
+		Traversals:   c.Traversals - other.Traversals,
+		Deferred:     c.Deferred - other.Deferred,
+		Requests:     c.Requests - other.Requests,
+		VortexPP:     c.VortexPP - other.VortexPP,
+		SPHPairs:     c.SPHPairs - other.SPHPairs,
+		Prefetched:   c.Prefetched - other.Prefetched,
+		PrefetchUsed: c.PrefetchUsed - other.PrefetchUsed,
 	}
 }
 

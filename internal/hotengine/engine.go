@@ -111,6 +111,27 @@ type Config struct {
 	// from scratch every Exchange. Splits and body order are
 	// byte-identical either way; this exists for ablations.
 	ColdStart bool
+	// EvalWorkers turns on the walk/eval pipeline: completed groups
+	// are evaluated by this many worker goroutines while the rank
+	// goroutine keeps walking and running the batched-message rounds,
+	// so kernels overlap the collectives. 0 (the default) evaluates
+	// inline on the rank goroutine, exactly the historical schedule.
+	// Forces and counters are bitwise identical either way.
+	EvalWorkers int
+	// EvalSlots is the pipeline depth: how many completed groups may
+	// be queued or running at once (each slot pins one adapter-side
+	// evaluation state -- walker, interaction list). The backlog is
+	// what the workers drain while the rank goroutine sits in a
+	// collective, so depth, not worker count, bounds how much kernel
+	// time can hide under communication. 0 means 64 per worker.
+	EvalSlots int
+	// PrefetchDepth makes serve piggyback the subtree below each
+	// requested cell (children, depth levels deep) in the same reply
+	// batch: the speculation that a rank opening a cell will shortly
+	// open its children, cutting request rounds per walk phase. 0
+	// disables. Replies are deduped against already-imported cells on
+	// the requester; forces are identical at any depth.
+	PrefetchDepth int
 }
 
 // sentinelUnfetched marks a remote leaf whose bodies have not arrived.
@@ -121,6 +142,18 @@ const sentinelUnfetched = int32(-1 << 30)
 type node[X any] struct {
 	Cell  tree.Cell
 	Extra X
+	// Prefetched marks a speculatively imported cell that no walk has
+	// resolved yet; Resolve clears it and counts the hit. Only the
+	// rank goroutine touches imported nodes.
+	Prefetched bool
+}
+
+// walkPhase is the persistent per-phase-label state: the abm engine
+// (recycled queue/receive buffers) and the precomputed traffic label
+// (prefix concatenation allocates, so it is done once).
+type walkPhase[X, B any] struct {
+	eng   *abm.Engine[keys.Key, Reply[X, B]]
+	label string
 }
 
 // Engine holds one rank's state across timesteps.
@@ -174,6 +207,53 @@ type Engine[X, B any] struct {
 	builder tree.Builder
 
 	cellBytes int
+
+	// phases holds one persistent abm engine per walk-phase label, so
+	// steady-state walks reuse the recycled queue/receive buffers
+	// instead of reconstructing the engine every call.
+	phases map[string]*walkPhase[X, B]
+	// pool is the eval pipeline (nil when EvalWorkers is 0);
+	// progress is e.progressOne bound once, installed as the Comm's
+	// Progress hook for the duration of a pipelined walk phase so
+	// blocking collective receives drain the deferred work backlog.
+	pool     *evalPool
+	progress func() bool
+	// Per-phase pipeline state shared between the round loop, the
+	// Progress hook and the incremental reply imports (all
+	// rank-goroutine-only): the current walk/eval closures and pool;
+	// the queue of not-yet-walked groups (freshBuf[freshIdx:]); the
+	// queue of deferred groups whose last missing cell has arrived
+	// (readyBuf[readyIdx:], retry candidates); per-group unresolved
+	// key counts and the reverse key->waiting-groups index that
+	// importCell decrements so a group is promoted to ready the
+	// moment its final cell lands; and missing cell keys discovered
+	// since the last flush (missBuf -- posting to the abm engine must
+	// wait until the rank is outside a collective). waiterPool
+	// recycles the keyWaiters value slices across keys and phases.
+	curWalk    WalkFn
+	curEval    EvalFn
+	curPool    *evalPool
+	freshBuf   []keys.Key
+	freshIdx   int
+	readyBuf   []keys.Key
+	readyIdx   int
+	waitCount  map[keys.Key]int
+	keyWaiters map[keys.Key][]keys.Key
+	waiterPool [][]keys.Key
+	missBuf    []keys.Key
+	onReply    func(src int, reps []Reply[X, B])
+	observe    bool
+	// Persistent walkGroups scratch, cleared on entry: the pending
+	// request-dedup set, the stall start times, and the two deferral
+	// list buffers swapped each round.
+	pending    map[keys.Key]bool
+	deferredAt map[keys.Key]time.Time
+	// Overlap accounting (cumulative across the run, like Counters):
+	// wall time the rank goroutine spent inside the walk collectives,
+	// and how much eval-worker busy time landed inside those windows
+	// (clamped to workers x window; whole-job granularity).
+	commNs           int64
+	evalDuringCommNs int64
 }
 
 // New creates an engine wrapping this rank's share of the bodies. The
@@ -191,13 +271,61 @@ func New[X, B any](c *msg.Comm, sys *core.System, phys Physics[X, B], cfg Config
 		Timer:     diag.NewTimer(),
 		Sub:       diag.NewTimer(),
 		cellBytes: CellWireBytes[X, B](),
+		phases:    make(map[string]*walkPhase[X, B]),
 	}
 	e.dec.Workers = cfg.BuildWorkers
 	e.dec.Cold = cfg.ColdStart
 	e.dec.Sub = e.Sub
 	e.builder.Workers = cfg.BuildWorkers
 	e.builder.Sub = e.Sub
+	e.progress = e.progressOne
+	e.onReply = e.onReplyBatch
+	e.Cfg.EvalWorkers = 0 // set by ConfigureOverlap so the pool exists
+	e.ConfigureOverlap(cfg.EvalWorkers, cfg.PrefetchDepth)
 	return e
+}
+
+// ConfigureOverlap (re)configures the latency-hiding knobs after
+// construction: the eval pipeline's worker count and the serve-side
+// prefetch depth. Call between evaluations only. workers 0 tears the
+// pool down (inline evaluation).
+func (e *Engine[X, B]) ConfigureOverlap(workers, prefetchDepth int) {
+	e.Cfg.PrefetchDepth = prefetchDepth
+	if workers == e.Cfg.EvalWorkers && (e.pool != nil) == (workers > 0) {
+		return
+	}
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+	e.Cfg.EvalWorkers = workers
+	if workers > 0 {
+		slots := e.Cfg.EvalSlots
+		if slots <= 0 {
+			slots = workers * 64
+		}
+		e.pool = newEvalPool(workers, slots)
+	}
+}
+
+// Slots returns how many evaluation states the walk pipeline can hold
+// in flight; adapters size their per-slot walkers/lists to this and
+// index them by the slot argument of WalkFn/EvalFn. 1 when the
+// pipeline is off (only the inline slot 0 exists).
+func (e *Engine[X, B]) Slots() int {
+	if e.pool == nil {
+		return 1
+	}
+	return e.pool.nslots + 1
+}
+
+// Close stops the eval workers, if any. The engine must not walk
+// afterwards.
+func (e *Engine[X, B]) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
 }
 
 // CellBytes returns the derived fixed wire size of one cell record.
@@ -221,13 +349,34 @@ func (e *Engine[X, B]) EnableTrace(t *trace.Tracer) {
 // Report packages this rank's accumulated diagnostics as a RunReport
 // rank input (internal/metrics).
 func (e *Engine[X, B]) Report() metrics.RankInput {
-	return metrics.RankInput{
+	in := metrics.RankInput{
 		Counters:    e.Counters,
 		Timer:       e.Timer,
 		Sub:         e.Sub,
 		Rounds:      e.Rounds,
 		RemoteCells: e.RemoteCells,
 	}
+	if e.Cfg.EvalWorkers > 0 || e.Cfg.PrefetchDepth > 0 {
+		in.Overlap = &metrics.OverlapStats{
+			EvalWorkers:           e.Cfg.EvalWorkers,
+			PrefetchDepth:         e.Cfg.PrefetchDepth,
+			CommSeconds:           float64(e.commNs) / 1e9,
+			EvalBusySeconds:       float64(e.evalBusyNs()) / 1e9,
+			EvalDuringCommSeconds: float64(e.evalDuringCommNs) / 1e9,
+			Rounds:                e.Rounds,
+			Prefetched:            e.Counters.Prefetched,
+			PrefetchUsed:          e.Counters.PrefetchUsed,
+		}
+	}
+	return in
+}
+
+// evalBusyNs is the cumulative worker time spent inside EvalFn.
+func (e *Engine[X, B]) evalBusyNs() int64 {
+	if e.pool == nil {
+		return 0
+	}
+	return e.pool.busyNs.Load()
 }
 
 // TelemetrySample packages this rank's cumulative pipeline state for
@@ -242,13 +391,16 @@ func (e *Engine[X, B]) TelemetrySample(stepNs int64) telemetry.RankSample {
 		phases[ph] = s
 	}
 	return telemetry.RankSample{
-		Counters:    e.Counters,
-		StepNs:      stepNs,
-		Phases:      phases,
-		Rounds:      e.Rounds,
-		RemoteCells: e.RemoteCells,
-		Sent:        e.C.TrafficTotal(),
-		Bodies:      e.Sys.Len(),
+		Counters:         e.Counters,
+		StepNs:           stepNs,
+		Phases:           phases,
+		Rounds:           e.Rounds,
+		RemoteCells:      e.RemoteCells,
+		Sent:             e.C.TrafficTotal(),
+		Bodies:           e.Sys.Len(),
+		CommNs:           e.commNs,
+		EvalBusyNs:       e.evalBusyNs(),
+		EvalDuringCommNs: e.evalDuringCommNs,
 	}
 }
 
@@ -415,7 +567,7 @@ func (e *Engine[X, B]) OwnerOf(k keys.Key) int {
 func (e *Engine[X, B]) Resolve(k keys.Key) (*tree.Cell, *X, bool) {
 	if n := e.top.Ptr(k); n != nil {
 		if n.Cell.Leaf && n.Cell.First == sentinelUnfetched {
-			if in := e.imported.Ptr(k); in != nil {
+			if in := e.importedPtr(k); in != nil {
 				return &in.Cell, &in.Extra, true
 			}
 			return nil, nil, false // bodies must be fetched
@@ -429,37 +581,94 @@ func (e *Engine[X, B]) Resolve(k keys.Key) (*tree.Cell, *X, bool) {
 		}
 		return nil, nil, false
 	}
-	if in := e.imported.Ptr(k); in != nil {
+	if in := e.importedPtr(k); in != nil {
 		return &in.Cell, &in.Extra, true
 	}
 	return nil, nil, false
 }
 
+// importedPtr looks up an imported cell, marking a prefetched cell's
+// first resolution as a prefetch hit. Resolve runs on the rank
+// goroutine only (walks do; pooled evals never resolve), so the mark
+// is race-free; the hit count survives a walk miss's counter restore
+// because the node's flag is already consumed.
+func (e *Engine[X, B]) importedPtr(k keys.Key) *node[X] {
+	in := e.imported.Ptr(k)
+	if in != nil && in.Prefetched {
+		in.Prefetched = false
+		e.Counters.PrefetchUsed++
+	}
+	return in
+}
+
 // serve answers a batch of cell requests from src out of the local
 // tree. Every requested key must be at or below one of this rank's
-// branches, so a miss is a protocol violation.
-func (e *Engine[X, B]) serve(src int, reqs []keys.Key) []Wire[X, B] {
-	out := make([]Wire[X, B], len(reqs))
+// branches, so a miss is a protocol violation. With PrefetchDepth > 0
+// each reply piggybacks the subtree below the requested cell.
+func (e *Engine[X, B]) serve(src int, reqs []keys.Key) []Reply[X, B] {
+	out := make([]Reply[X, B], len(reqs))
 	for i, k := range reqs {
 		c := e.Local.Cell(k)
 		if c == nil {
 			panic(fmt.Sprintf("hotengine: rank %d asked rank %d for unknown cell %v", src, e.C.Rank(), k))
 		}
-		w := Wire[X, B]{
-			Key: k, Mp: c.Mp, Extra: e.Phys.Extra(c), RCrit: c.RCrit,
-			N: c.N, ChildMask: c.ChildMask, Leaf: c.Leaf,
+		out[i].W = e.wireOf(k, c)
+		if e.Cfg.PrefetchDepth > 0 && !c.Leaf {
+			out[i].Pre = e.appendSubtree(out[i].Pre, k, c, e.Cfg.PrefetchDepth)
 		}
-		if c.Leaf {
-			w.Bodies = e.Phys.PackLeaf(c)
-		}
-		out[i] = w
 	}
 	return out
 }
 
+// wireOf packs one local cell for the wire.
+func (e *Engine[X, B]) wireOf(k keys.Key, c *tree.Cell) Wire[X, B] {
+	w := Wire[X, B]{
+		Key: k, Mp: c.Mp, Extra: e.Phys.Extra(c), RCrit: c.RCrit,
+		N: c.N, ChildMask: c.ChildMask, Leaf: c.Leaf,
+	}
+	if c.Leaf {
+		w.Bodies = e.Phys.PackLeaf(c)
+	}
+	return w
+}
+
+// appendSubtree packs the children below a local cell, depth levels
+// deep: the serve-side speculation that a rank opening a cell will
+// shortly want what is underneath it. Children of a local non-leaf
+// are local by construction; a missing child octant is simply skipped.
+func (e *Engine[X, B]) appendSubtree(dst []Wire[X, B], k keys.Key, c *tree.Cell, depth int) []Wire[X, B] {
+	for oct := 0; oct < 8; oct++ {
+		if c.ChildMask&(1<<uint(oct)) == 0 {
+			continue
+		}
+		ck := k.Child(oct)
+		cc := e.Local.Cell(ck)
+		if cc == nil {
+			continue
+		}
+		dst = append(dst, e.wireOf(ck, cc))
+		if depth > 1 && !cc.Leaf {
+			dst = e.appendSubtree(dst, ck, cc, depth-1)
+		}
+	}
+	return dst
+}
+
+// replyBytes is the abm traffic size of one reply: the fixed cell
+// record times one plus the piggybacked prefetch cells (leaf body
+// columns are accounted separately by the physics, as ever).
+func (e *Engine[X, B]) replyBytes(r Reply[X, B]) int {
+	return e.cellBytes * (1 + len(r.Pre))
+}
+
 // importCell stores a fetched remote cell, copying leaf bodies into
-// the physics' import arena.
-func (e *Engine[X, B]) importCell(w Wire[X, B]) {
+// the physics' import arena. Duplicates are dropped: with prefetch, a
+// directly requested cell can arrive a second time inside another
+// reply's subtree (or vice versa) within the same round.
+func (e *Engine[X, B]) importCell(w Wire[X, B], prefetched bool) {
+	if e.imported.Ptr(w.Key) != nil {
+		return
+	}
 	c := tree.Cell{
 		Key: w.Key, Mp: w.Mp, RCrit: w.RCrit, N: w.N,
 		ChildMask: w.ChildMask, Leaf: w.Leaf,
@@ -468,8 +677,41 @@ func (e *Engine[X, B]) importCell(w Wire[X, B]) {
 		start := e.Phys.ImportLeaf(w.N, w.Bodies)
 		c.First = -(start + 1)
 	}
-	e.imported.Insert(w.Key, node[X]{Cell: c, Extra: w.Extra})
+	e.imported.Insert(w.Key, node[X]{Cell: c, Extra: w.Extra, Prefetched: prefetched})
+	if prefetched {
+		e.Counters.Prefetched++
+	}
 	e.RemoteCells++
+	// Wake the groups waiting on this cell: a group whose last
+	// outstanding key just landed is promoted to the ready queue and
+	// can retry -- with incremental delivery, in the middle of the
+	// very round that carried the cell.
+	if ws, ok := e.keyWaiters[w.Key]; ok {
+		delete(e.keyWaiters, w.Key)
+		for _, gk := range ws {
+			if n := e.waitCount[gk] - 1; n == 0 {
+				delete(e.waitCount, gk)
+				e.readyBuf = append(e.readyBuf, gk)
+			} else {
+				e.waitCount[gk] = n
+			}
+		}
+		e.waiterPool = append(e.waiterPool, ws[:0])
+	}
+}
+
+// onReplyBatch is the abm OnReply hook (bound once): it imports one
+// source's reply batch as it arrives inside Round, on the rank
+// goroutine. Interleaved with the Progress hook's walks this stays
+// race-free -- both run between receives of the same collective --
+// and a walk simply sees a monotonically growing cell table.
+func (e *Engine[X, B]) onReplyBatch(_ int, reps []Reply[X, B]) {
+	for i := range reps {
+		e.importCell(reps[i].W, false)
+		for _, pw := range reps[i].Pre {
+			e.importCell(pw, true)
+		}
+	}
 }
 
 // ResetImports discards every imported cell and the physics' arena,
@@ -484,50 +726,246 @@ func (e *Engine[X, B]) ResetImports() {
 // WalkGroups runs phases 3 and 4 for one traversal pass: it invokes
 // walk for every local leaf group, deferring groups whose walk
 // returns missing keys and fetching those cells from their owners in
-// batched rounds until every group completes. walk receives the
-// group's key and cell plus the counter snapshot taken just before
-// the attempt (for per-body work accounting); on a miss the engine
-// restores the counters to that snapshot, so a discarded partial walk
+// batched rounds until every group completes, then running eval for
+// each completed group. On a miss the engine restores the counters to
+// the snapshot taken before the attempt, so a discarded partial walk
 // never inflates the traversal counts -- the paper's performance
-// accounting rides on these counters being exact. label names the
-// phase for the Timer and (with the configured prefix) the msg
-// traffic accounting.
-func (e *Engine[X, B]) WalkGroups(label string, walk func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key) {
-	e.walkGroups(label, nil, walk)
+// accounting rides on these counters being exact.
+//
+// eval may be nil, in which case walk must do its own evaluation
+// (inline, on the rank goroutine -- the historical schedule, and
+// required for passes whose evaluation writes columns the serve path
+// snapshots, like SPH density). With eval non-nil and EvalWorkers
+// configured, the phase is pipelined: most groups are not walked up
+// front but queued, and the msg.Comm Progress hook walks and
+// evaluates them on the rank goroutine while the collective rounds
+// wait on in-flight messages -- compute fills the communication
+// windows instead of preceding them. Completed sweep-side groups
+// additionally hand their materialized lists to the worker pool when
+// workers could actually run in parallel (spare cores). The slot
+// argument tells the adapter which of its Slots() evaluation states
+// to use. label names the phase for the Timer and (with the
+// configured prefix) the msg traffic accounting.
+func (e *Engine[X, B]) WalkGroups(label string, walk WalkFn, eval EvalFn) {
+	e.walkGroups(label, nil, walk, eval)
 }
 
 // WalkGroupsIf is WalkGroups restricted to the groups for which
 // active returns true -- the partial traversal of block timesteps.
 // Skipped groups run no walk at all, but every rank still enters the
-// same collective rounds (request serving is symmetric), so the call
-// is collective even when a rank's active set is empty.
-func (e *Engine[X, B]) WalkGroupsIf(label string, active func(g *tree.Cell) bool, walk func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key) {
-	e.walkGroups(label, active, walk)
+// same collective rounds (request serving, including prefetch, is
+// symmetric), so the call is collective even when a rank's active set
+// is empty.
+func (e *Engine[X, B]) WalkGroupsIf(label string, active func(g *tree.Cell) bool, walk WalkFn, eval EvalFn) {
+	e.walkGroups(label, active, walk, eval)
 }
 
-func (e *Engine[X, B]) walkGroups(label string, active func(g *tree.Cell) bool, walk func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key) {
-	e.Timer.Start(label)
-	e.C.Phase(e.Cfg.PhasePrefix + label)
-	eng := abm.New(e.C, KeyWireBytes(), e.cellBytes, e.serve)
-	eng.Trace = e.Trace
+// Pipelined walk tuning. primeBatch is how many distinct missing keys
+// the round-0 bootstrap walks inline before entering the first
+// collective: enough that the opening request batches are chunky (the
+// batching amortization the abm layer rides on), small enough that
+// most of the queue is left as window fodder. drainRound is the
+// safety valve: past this many rounds the windows are clearly not
+// eating the queue (tiny latency, tiny appetite), so fall back to the
+// classic inline drain and let the phase terminate on the deferred
+// groups alone, well inside MaxRounds.
+const (
+	primeBatch = 256
+	drainRound = 12
+)
 
-	deferred := make([]keys.Key, 0, len(e.Local.Groups))
-	for _, gk := range e.Local.Groups {
-		if active == nil || active(e.Local.Cell(gk)) {
-			deferred = append(deferred, gk)
+// walkOne attempts one group's walk with the evaluation state of
+// slot, dispatching the eval (pool job for pooled slots, inline for
+// slot 0) on completion, and on a miss restoring the counters,
+// parking the group on e.waitQ and buffering its new missing keys on
+// e.missBuf. Rank goroutine only; callers outside a collective must
+// flush missBuf to the phase's abm engine afterwards (inside one,
+// posting must wait). Returns whether the group completed.
+func (e *Engine[X, B]) walkOne(slot int, gk keys.Key) bool {
+	g := e.Local.Cell(gk)
+	snapshot := e.Counters
+	missing := e.curWalk(slot, gk, g, &e.Counters)
+	if missing == nil {
+		if e.observe {
+			if t0, ok := e.deferredAt[gk]; ok {
+				d := time.Since(t0)
+				e.Stalls.Observe(uint64(d.Nanoseconds()))
+				e.Trace.SpanAt("stall", t0, d)
+				delete(e.deferredAt, gk)
+			}
+		}
+		if e.curEval != nil {
+			if slot != 0 {
+				e.curPool.jobs <- evalJob{slot: slot, gk: gk, g: g, eval: e.curEval}
+			} else {
+				e.curEval(0, gk, g, &e.Counters)
+			}
+		}
+		return true
+	}
+	if slot != 0 {
+		e.curPool.free <- slot
+	}
+	// Context switch: restore the counters (keeping PrefetchUsed --
+	// the imported nodes' hit flags are already consumed, so the
+	// count must survive the restore), defer the group, batch its
+	// requests.
+	pu := e.Counters.PrefetchUsed
+	e.Counters = snapshot
+	e.Counters.PrefetchUsed = pu
+	e.Counters.Deferred++
+	if e.observe {
+		if _, ok := e.deferredAt[gk]; !ok {
+			e.deferredAt[gk] = time.Now()
 		}
 	}
-	pending := map[keys.Key]bool{}
+	for _, mk := range missing {
+		e.waitCount[gk]++
+		ws, ok := e.keyWaiters[mk]
+		if !ok && len(e.waiterPool) > 0 {
+			ws = e.waiterPool[len(e.waiterPool)-1]
+			e.waiterPool = e.waiterPool[:len(e.waiterPool)-1]
+		}
+		e.keyWaiters[mk] = append(ws, gk)
+		if !e.pending[mk] {
+			e.pending[mk] = true
+			e.Counters.Requests++
+			e.missBuf = append(e.missBuf, mk)
+		}
+	}
+	return false
+}
+
+// acquireSlot hands out a free pool slot for a sweep-side walk, or 0
+// (the inline spill slot). Pools without spawned workers always
+// spill: materializing an interaction list per queued job only pays
+// when another core can evaluate it concurrently; the single-core
+// overlap comes from the Progress hook walking queued groups inside
+// the communication windows instead.
+func (e *Engine[X, B]) acquireSlot(pool *evalPool) int {
+	if pool == nil || pool.nworkers == 0 {
+		return 0
+	}
+	select {
+	case s := <-pool.free:
+		return s
+	default:
+		return 0
+	}
+}
+
+// progressOne is the msg.Comm Progress hook: it runs on the rank
+// goroutine whenever a blocking collective receive has no message
+// yet. Priority order: drain a materialized eval job (frees pipeline
+// slots for the next sweep); retry a ready deferred group (its
+// requested cells arrived with the previous round, so this is the
+// heavy, likely-to-complete work); first-walk a queued fresh group.
+// During a collective the cell tables are quiescent -- imports happen
+// only after Round returns -- so the walks are safe, and a completed
+// walk is bitwise the walk the sweep would have run (the traversal of
+// a completed walk is independent of which cells beyond it happen to
+// be resolvable). A miss is parked exactly like a sweep miss, with
+// its requests buffered until the rank is back outside the
+// collective.
+func (e *Engine[X, B]) progressOne() bool {
+	pool := e.curPool
+	if pool != nil && pool.tryRunOne() {
+		return true
+	}
+	if e.curWalk == nil {
+		return false
+	}
+	var gk keys.Key
+	if e.readyIdx < len(e.readyBuf) {
+		gk = e.readyBuf[e.readyIdx]
+		e.readyIdx++
+	} else if e.freshIdx < len(e.freshBuf) {
+		gk = e.freshBuf[e.freshIdx]
+		e.freshIdx++
+	} else {
+		return false
+	}
+	t0 := time.Now()
+	e.walkOne(0, gk)
+	if pool != nil {
+		pool.busyNs.Add(time.Since(t0).Nanoseconds())
+	}
+	return true
+}
+
+func (e *Engine[X, B]) walkGroups(label string, active func(g *tree.Cell) bool, walk WalkFn, eval EvalFn) {
+	e.Timer.Start(label)
+	ph := e.phases[label]
+	if ph == nil {
+		ph = &walkPhase[X, B]{
+			eng:   abm.New[keys.Key, Reply[X, B]](e.C, KeyWireBytes(), e.cellBytes, e.serve),
+			label: e.Cfg.PhasePrefix + label,
+		}
+		ph.eng.RepBytes = e.replyBytes
+		ph.eng.OnReply = e.onReply
+		e.phases[label] = ph
+	}
+	eng := ph.eng
+	eng.Trace = e.Trace
+	e.C.Phase(ph.label)
+
+	pool := e.pool
+	if eval == nil {
+		pool = nil // inline-only pass
+	}
+	pipelined := pool != nil
+	e.curWalk, e.curEval, e.curPool = walk, eval, pool
+	if pipelined {
+		// Collective receives that would block instead walk queued
+		// groups and run queued evals on this goroutine
+		// (msg.Comm.Progress): compute drains inside the
+		// communication windows even on one core.
+		e.C.Progress = e.progress
+	}
+	defer func() {
+		e.C.Progress = nil
+		e.curWalk, e.curEval, e.curPool = nil, nil, nil
+	}()
+
+	// Pipelined phases queue the groups (freshBuf) and let the
+	// Progress hook consume them; classic phases start everything on
+	// the retry queue, which round 0's sweep drains in full -- exactly
+	// the historical schedule.
+	fresh := e.freshBuf[:0]
+	ready := e.readyBuf[:0]
+	for _, gk := range e.Local.Groups {
+		if active == nil || active(e.Local.Cell(gk)) {
+			if pipelined {
+				fresh = append(fresh, gk)
+			} else {
+				ready = append(ready, gk)
+			}
+		}
+	}
+	e.freshBuf, e.freshIdx = fresh, 0
+	e.readyBuf, e.readyIdx = ready, 0
+	e.missBuf = e.missBuf[:0]
+	if e.pending == nil {
+		e.pending = make(map[keys.Key]bool)
+		e.waitCount = make(map[keys.Key]int)
+		e.keyWaiters = make(map[keys.Key][]keys.Key)
+	}
+	clear(e.pending)
+	clear(e.waitCount)
+	for mk, ws := range e.keyWaiters {
+		e.waiterPool = append(e.waiterPool, ws[:0])
+		delete(e.keyWaiters, mk)
+	}
 
 	// Stall observation (off unless tracing or the histogram is
 	// attached): a group's stall runs from its first deferral to the
 	// walk that finally completes it, spanning however many rounds
 	// that takes.
-	observeStalls := e.Stalls != nil || e.Trace != nil
-	var deferredAt map[keys.Key]time.Time
-	if observeStalls {
-		deferredAt = make(map[keys.Key]time.Time)
+	e.observe = e.Stalls != nil || e.Trace != nil
+	if e.observe && e.deferredAt == nil {
+		e.deferredAt = make(map[keys.Key]time.Time)
 	}
+	clear(e.deferredAt)
 
 	for round := 0; ; round++ {
 		if round > e.Cfg.MaxRounds {
@@ -537,53 +975,114 @@ func (e *Engine[X, B]) walkGroups(label string, active func(g *tree.Cell) bool, 
 			// by abm.Round) attached to the WorldError.
 			e.C.Abort(fmt.Errorf(
 				"hotengine: request rounds exceeded MaxRounds=%d in phase %q: %d groups deferred, %d cells pending, %d rounds since exchange",
-				e.Cfg.MaxRounds, label, len(deferred), len(pending), e.Rounds))
+				e.Cfg.MaxRounds, label,
+				len(e.readyBuf)-e.readyIdx+len(e.waitCount)+len(e.freshBuf)-e.freshIdx,
+				len(e.pending), e.Rounds))
 		}
-		var still []keys.Key
-		for _, gk := range deferred {
-			g := e.Local.Cell(gk)
-			snapshot := e.Counters
-			missing := walk(gk, g, snapshot)
-			if missing == nil {
-				if observeStalls {
-					if t0, ok := deferredAt[gk]; ok {
-						d := time.Since(t0)
-						e.Stalls.Observe(uint64(d.Nanoseconds()))
-						e.Trace.SpanAt("stall", t0, d)
-						delete(deferredAt, gk)
-					}
-				}
-				continue
-			}
-			// Context switch: restore the counters, defer the group,
-			// batch its requests.
-			e.Counters = snapshot
-			e.Counters.Deferred++
-			if observeStalls {
-				if _, ok := deferredAt[gk]; !ok {
-					deferredAt[gk] = time.Now()
-				}
-			}
-			still = append(still, gk)
-			for _, mk := range missing {
-				if !pending[mk] {
-					pending[mk] = true
-					e.Counters.Requests++
-					eng.Post(e.OwnerOf(mk), mk)
-				}
+		// Retry sweep: groups whose requested cells have all arrived
+		// (importCell promoted them) walk again, straight into a pool
+		// slot when a worker could drain it. Compact the consumed
+		// prefix first so the buffer never grows without bound.
+		if e.readyIdx > 0 {
+			n := copy(e.readyBuf, e.readyBuf[e.readyIdx:])
+			e.readyBuf, e.readyIdx = e.readyBuf[:n], 0
+		}
+		for e.readyIdx < len(e.readyBuf) {
+			gk := e.readyBuf[e.readyIdx]
+			e.readyIdx++
+			e.walkOne(e.acquireSlot(pool), gk)
+		}
+		if round == 0 {
+			// Bootstrap: walk queued groups inline until the first
+			// request batch is primed (or, serially, until everything
+			// simply completes). Without this the opening rounds
+			// would carry near-empty batches.
+			for e.freshIdx < len(e.freshBuf) && len(e.missBuf) < primeBatch {
+				gk := e.freshBuf[e.freshIdx]
+				e.freshIdx++
+				e.walkOne(e.acquireSlot(pool), gk)
 			}
 		}
-		deferred = still
-		if !eng.AnyPendingGlobal(len(deferred) > 0) {
+		if round >= drainRound {
+			for e.freshIdx < len(e.freshBuf) {
+				gk := e.freshBuf[e.freshIdx]
+				e.freshIdx++
+				e.walkOne(e.acquireSlot(pool), gk)
+			}
+		}
+		for _, mk := range e.missBuf {
+			eng.Post(e.OwnerOf(mk), mk)
+		}
+		e.missBuf = e.missBuf[:0]
+
+		// The collectives are where the Progress hook (and, with
+		// spare cores, the eval workers) eat the queued work; time
+		// them and the eval/walk busy time inside them for the
+		// overlap report. Replies import incrementally as each source
+		// batch lands (abm OnReply), promoting waiting groups
+		// mid-round, so hook retries run against data delivered by
+		// the very round they overlap.
+		var t0 time.Time
+		var busy0 int64
+		if pool != nil {
+			t0 = time.Now()
+			busy0 = pool.busyNs.Load()
+		}
+		work := len(e.readyBuf)-e.readyIdx+len(e.waitCount)+len(e.freshBuf)-e.freshIdx > 0
+		more := eng.AnyPendingGlobal(work)
+		if !more {
+			if pool != nil {
+				e.noteComm(pool, t0, busy0)
+			}
 			break
 		}
-		replies := eng.Round()
-		e.Rounds++
-		for _, batch := range replies {
-			for _, w := range batch {
-				e.importCell(w)
-			}
+		// Keys discovered by hook walks during AnyPendingGlobal can
+		// still make this round's batches.
+		for _, mk := range e.missBuf {
+			eng.Post(e.OwnerOf(mk), mk)
 		}
+		e.missBuf = e.missBuf[:0]
+		eng.Round()
+		e.Rounds++
+		if pool != nil {
+			e.noteComm(pool, t0, busy0)
+		}
+		// Requests discovered inside the collectives (hook walks that
+		// missed) post now, joining the next round's batches.
+		for _, mk := range e.missBuf {
+			eng.Post(e.OwnerOf(mk), mk)
+		}
+		e.missBuf = e.missBuf[:0]
+	}
+	if pool != nil {
+		// Drain: the rank helps eat the remaining backlog, waits out the
+		// in-flight worker evals, folds the private counters into the
+		// rank's (uint64 sums, order-independent), and returns the slot
+		// tokens for the next phase.
+		for pool.tryRunOne() {
+		}
+		pool.quiesce()
+		for i := range pool.ctrs {
+			e.Counters.Add(pool.ctrs[i])
+			pool.ctrs[i] = diag.Counters{}
+		}
+		pool.release()
 	}
 	e.Timer.Stop()
+}
+
+// noteComm accounts one collective window: its wall time, and how
+// much eval-worker busy time landed inside it (whole-job granularity,
+// clamped to workers x window so a long job finishing just after the
+// window opens cannot over-credit).
+func (e *Engine[X, B]) noteComm(pool *evalPool, t0 time.Time, busy0 int64) {
+	dt := time.Since(t0).Nanoseconds()
+	e.commNs += dt
+	db := pool.busyNs.Load() - busy0
+	// workers + the rank goroutine itself (Progress hook) can all be
+	// evaluating inside the window.
+	if lim := int64(pool.nworkers+1) * dt; db > lim {
+		db = lim
+	}
+	e.evalDuringCommNs += db
 }

@@ -103,7 +103,7 @@ func TestEngineCoreFullTraversal(t *testing.T) {
 			// fetch remote leaves.
 			ids := map[int64]bool{}
 			var stack []keys.Key
-			e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+			e.WalkGroups("walk", func(slot int, gk keys.Key, g *tree.Cell, _ *diag.Counters) []keys.Key {
 				var missing []keys.Key
 				got := []int64{}
 				stack = append(stack[:0], keys.Root)
@@ -137,7 +137,7 @@ func TestEngineCoreFullTraversal(t *testing.T) {
 					ids[id] = true
 				}
 				return nil
-			})
+			}, nil)
 
 			if np > 1 && e.RemoteCells == 0 {
 				t.Errorf("np=%d rank=%d: exhaustive walk imported no remote cells", np, c.Rank())
@@ -166,9 +166,9 @@ func TestEngineTimerPhases(t *testing.T) {
 			MAC: grav.MACParams{Kind: grav.MACBarnesHut, Theta: 0.5}, Bucket: 8,
 		})
 		e.Exchange()
-		e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+		e.WalkGroups("walk", func(slot int, gk keys.Key, g *tree.Cell, _ *diag.Counters) []keys.Key {
 			return nil
-		})
+		}, nil)
 		want := []string{"decompose", "treebuild", "branches", "walk"}
 		got := e.Timer.Phases()
 		if len(got) != len(want) {
@@ -204,9 +204,9 @@ func TestMaxRoundsAbort(t *testing.T) {
 			e.Exchange()
 			// Pathological walk: the root always resolves, but this walk
 			// insists it is missing, so the rounds can never drain.
-			e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
+			e.WalkGroups("walk", func(slot int, gk keys.Key, g *tree.Cell, _ *diag.Counters) []keys.Key {
 				return []keys.Key{keys.Root}
-			})
+			}, nil)
 		})
 	}()
 	var err *msg.WorldError

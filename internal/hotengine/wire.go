@@ -28,6 +28,18 @@ type Wire[X, B any] struct {
 	Bodies B
 }
 
+// Reply is one request reply on the wire: the requested cell W plus
+// any speculative subtree cells Pre piggybacked by serve-side prefetch
+// (Config.PrefetchDepth levels below W, in DFS order). Wrapping rather
+// than extending Wire keeps replies 1:1 with requests -- the alignment
+// the abm engine guarantees -- and keeps the fixed Wire record (and
+// its pinned packed size) unchanged. A Reply's wire cost is
+// CellWireBytes times 1+len(Pre).
+type Reply[X, B any] struct {
+	W   Wire[X, B]
+	Pre []Wire[X, B]
+}
+
 // CellWireBytes returns the packed wire size of one Wire[X, B] record
 // (every fixed field, excluding the leaf body payload). This is the
 // single place cell wire sizes come from: the traffic counters in

@@ -151,6 +151,77 @@ func AlltoallvInto[T any](c *Comm, send, recv [][]T, bytesPer int) [][]T {
 	return recv
 }
 
+// AlltoallvSizedFunc is AlltoallvSizedInto that additionally invokes
+// onBatch(src, batch) as each source's batch lands (the local batch
+// at its own position in source order), so the caller can process
+// early arrivals while later sources are still in flight -- the
+// incremental-delivery hook the pipelined tree walk imports cells
+// through. onBatch runs on the calling goroutine and must not
+// communicate.
+func AlltoallvSizedFunc[T any](c *Comm, send, recv [][]T, bytesOf func(T) int, onBatch func(src int, batch []T)) [][]T {
+	if len(send) != c.Size() {
+		panic("msg: Alltoallv needs one send slice per rank")
+	}
+	tag := c.nextTag(opAlltoall)
+	for d := 0; d < c.Size(); d++ {
+		if d == c.Rank() {
+			continue
+		}
+		n := 0
+		for i := range send[d] {
+			n += bytesOf(send[d][i])
+		}
+		c.send(d, tag, send[d], n)
+	}
+	if cap(recv) < c.Size() {
+		recv = make([][]T, c.Size())
+	}
+	recv = recv[:c.Size()]
+	for s := 0; s < c.Size(); s++ {
+		if s == c.Rank() {
+			recv[s] = send[s]
+		} else {
+			recv[s] = c.Recv(s, tag).Data.([]T)
+		}
+		onBatch(s, recv[s])
+	}
+	return recv
+}
+
+// AlltoallvSizedInto is AlltoallvInto for element types whose wire
+// size varies per value (e.g. cell replies carrying a piggybacked
+// prefetch subtree): bytesOf gives the logical wire size of one T, and
+// each batch is accounted as the sum over its elements. The fixed-size
+// exchanges keep the cheaper bytesPer path.
+func AlltoallvSizedInto[T any](c *Comm, send, recv [][]T, bytesOf func(T) int) [][]T {
+	if len(send) != c.Size() {
+		panic("msg: Alltoallv needs one send slice per rank")
+	}
+	tag := c.nextTag(opAlltoall)
+	for d := 0; d < c.Size(); d++ {
+		if d == c.Rank() {
+			continue
+		}
+		n := 0
+		for i := range send[d] {
+			n += bytesOf(send[d][i])
+		}
+		c.send(d, tag, send[d], n)
+	}
+	if cap(recv) < c.Size() {
+		recv = make([][]T, c.Size())
+	}
+	recv = recv[:c.Size()]
+	recv[c.Rank()] = send[c.Rank()]
+	for s := 0; s < c.Size(); s++ {
+		if s == c.Rank() {
+			continue
+		}
+		recv[s] = c.Recv(s, tag).Data.([]T)
+	}
+	return recv
+}
+
 // Common reduction operators.
 func SumF64(a, b float64) float64 { return a + b }
 func SumI64(a, b int64) int64     { return a + b }

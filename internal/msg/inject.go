@@ -40,7 +40,13 @@ type InjectorStats struct {
 //
 // Fault kinds, all off at their zero values:
 //
-//   - Latency: a send or receive sleeps up to MaxLatency.
+//   - Latency: a message spends up to MaxLatency in flight before it
+//     becomes visible to the receiver. The sender is never blocked and
+//     the receiver's CPU stays free -- a Recv with a Progress hook
+//     computes through the window, which is exactly the latency the
+//     paper's asynchronous batched messages are designed to hide.
+//     Delivery order per (src, tag) stream is unchanged, so results
+//     stay bit-identical.
 //   - Reorder: a message is delivered one slot ahead of the newest
 //     queued message of its (src, tag) stream -- a bounded FIFO
 //     violation. Off by default because FIFO order is what makes runs
@@ -67,8 +73,8 @@ type Injector struct {
 	StallDur   time.Duration
 	MaxStalls  int
 
-	// LatencyProb is the per-send (and per-recv) probability of an
-	// added delay, drawn uniformly in (0, MaxLatency] (0 means 100µs).
+	// LatencyProb is the per-send probability of an in-flight delivery
+	// delay, drawn uniformly in (0, MaxLatency] (0 means 100µs).
 	LatencyProb float64
 	MaxLatency  time.Duration
 
@@ -139,9 +145,10 @@ func (inj *Injector) Stats() InjectorStats {
 	}
 }
 
-// onSend runs the send-side faults and reports whether this message
-// should be delivered reordered.
-func (inj *Injector) onSend(c *Comm) (reorder bool) {
+// onSend runs the send-side faults, returning the message's in-flight
+// delay (0 = deliverable immediately) and whether it should be
+// delivered reordered.
+func (inj *Injector) onSend(c *Comm) (delay time.Duration, reorder bool) {
 	r := c.rank
 	if inj.CrashProb > 0 && inj.roll(r) < inj.CrashProb &&
 		(inj.CrashPhase == "" || inj.CrashPhase == c.phase) {
@@ -158,26 +165,14 @@ func (inj *Injector) onSend(c *Comm) (reorder bool) {
 		}
 	}
 	if inj.LatencyProb > 0 && inj.roll(r) < inj.LatencyProb {
-		inj.sleep(r)
+		inj.stats[statDelays].Add(1)
+		delay = time.Duration(inj.next(r)%uint64(inj.MaxLatency)) + 1
 	}
 	if inj.ReorderProb > 0 && inj.roll(r) < inj.ReorderProb {
 		inj.stats[statReorders].Add(1)
-		return true
+		reorder = true
 	}
-	return false
-}
-
-// onRecv runs the receive-side faults (latency only).
-func (inj *Injector) onRecv(c *Comm) {
-	if inj.LatencyProb > 0 && inj.roll(c.rank) < inj.LatencyProb {
-		inj.sleep(c.rank)
-	}
-}
-
-func (inj *Injector) sleep(r int) {
-	inj.stats[statDelays].Add(1)
-	d := time.Duration(inj.next(r)%uint64(inj.MaxLatency)) + 1
-	time.Sleep(d)
+	return delay, reorder
 }
 
 // stall parks the calling rank for StallDur -- unless the world

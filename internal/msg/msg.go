@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -48,6 +49,12 @@ type Message struct {
 	// already overtaken once; it is never overtaken again, which is
 	// what bounds any message's displacement to one delivery slot.
 	bumped bool
+	// due, when nonzero, is the injected in-flight deadline: the
+	// message sits in the mailbox but is invisible to take/tryTake
+	// until due passes. The sender is never blocked and the receiver's
+	// goroutine stays free to run its Progress hook -- latency as time
+	// on the wire, not as a CPU stall.
+	due time.Time
 }
 
 type mailbox struct {
@@ -109,27 +116,87 @@ func match(msg Message, src, tag int) bool {
 	return true
 }
 
+// scanDue finds the first matching message whose injected in-flight
+// deadline (if any) has passed, honoring per-stream FIFO: once a
+// not-yet-due match is seen, later messages of the same (Src, Tag)
+// stream are never delivered ahead of it. Returns the queue index, or
+// -1 with the earliest deadline among blocked matches (zero if there
+// are no matches at all). Caller holds m.mu.
+func (m *mailbox) scanDue(src, tag int) (int, time.Time) {
+	var now time.Time
+	var earliest time.Time
+	var held [][2]int // (Src, Tag) streams blocked by an earlier not-due match
+scan:
+	for i, msg := range m.queue {
+		if !match(msg, src, tag) {
+			continue
+		}
+		if msg.due.IsZero() {
+			if held == nil {
+				return i, time.Time{}
+			}
+		} else {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if msg.due.After(now) {
+				if earliest.IsZero() || msg.due.Before(earliest) {
+					earliest = msg.due
+				}
+				held = append(held, [2]int{msg.Src, msg.Tag})
+				continue
+			}
+		}
+		for _, h := range held {
+			if h[0] == msg.Src && h[1] == msg.Tag {
+				continue scan
+			}
+		}
+		return i, time.Time{}
+	}
+	return -1, earliest
+}
+
 // take removes and returns the first matching message, blocking until
-// one arrives. An aborted world wakes every blocked take (the condvars
-// are broadcast by World.Abort) and unwinds the caller with the abort
-// sentinel; the fast path pays one atomic load for that. st records
-// where this rank is blocked, but only once it actually waits, so a
-// take satisfied from the queue never touches it.
+// one arrives (or, under injected latency, until its in-flight
+// deadline passes -- a timer wakes the wait then). An aborted world
+// wakes every blocked take (the condvars are broadcast by World.Abort)
+// and unwinds the caller with the abort sentinel; the fast path pays
+// one atomic load for that. st records where this rank is blocked, but
+// only once it actually waits, so a take satisfied from the queue
+// never touches it.
 func (m *mailbox) take(src, tag int, st *rankState) Message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	blocked := false
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		if m.w.aborted.Load() {
 			panic(abortUnwind{})
 		}
-		for i, msg := range m.queue {
-			if match(msg, src, tag) {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				if blocked {
-					st.clearBlocked()
-				}
-				return msg
+		i, earliest := m.scanDue(src, tag)
+		if i >= 0 {
+			msg := m.queue[i]
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			if blocked {
+				st.clearBlocked()
+			}
+			return msg
+		}
+		if !earliest.IsZero() {
+			// The message is here but still in flight; wake this wait
+			// when it matures. A late or spurious broadcast only causes
+			// a harmless rescan.
+			d := time.Until(earliest)
+			if timer == nil {
+				timer = time.AfterFunc(d, m.cond.Broadcast)
+			} else {
+				timer.Reset(d)
 			}
 		}
 		if !blocked {
@@ -141,18 +208,17 @@ func (m *mailbox) take(src, tag int, st *rankState) Message {
 }
 
 // tryTake removes and returns the first matching message if one is
-// already queued.
+// already queued and past any injected in-flight deadline.
 func (m *mailbox) tryTake(src, tag int) (Message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.w.aborted.Load() {
 		panic(abortUnwind{})
 	}
-	for i, msg := range m.queue {
-		if match(msg, src, tag) {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			return msg, true
-		}
+	if i, _ := m.scanDue(src, tag); i >= 0 {
+		msg := m.queue[i]
+		m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		return msg, true
 	}
 	return Message{}, false
 }
@@ -325,6 +391,16 @@ type Comm struct {
 	// off the per-message hot path: on phase changes, collective
 	// entry, and only when a Recv actually blocks.
 	st *rankState
+
+	// Progress, when non-nil, is polled by a Recv whose message has
+	// not arrived yet: the hook runs one unit of deferred local work
+	// (e.g. a queued group evaluation) and reports whether it did
+	// anything. Recv alternates poll-for-message / one-unit-of-work
+	// until either the message lands or the hook runs dry, then parks
+	// in the ordinary blocking wait -- MPI_Test-and-compute on top of
+	// the channel substrate. The hook runs on this rank's goroutine
+	// and must never communicate.
+	Progress func() bool
 }
 
 // Comm returns rank r's communicator.
@@ -383,8 +459,13 @@ func (c *Comm) send(dst, tag int, data any, bytes int) {
 		panic(fmt.Sprintf("msg: send to rank %d out of range", dst))
 	}
 	reorder := false
+	var due time.Time
 	if c.w.inj != nil {
-		reorder = c.w.inj.onSend(c)
+		delay, ro := c.w.inj.onSend(c)
+		reorder = ro
+		if delay > 0 {
+			due = time.Now().Add(delay)
+		}
 	}
 	t := &c.w.traffic[c.rank]
 	t.add(c.phase, bytes)
@@ -393,14 +474,24 @@ func (c *Comm) send(dst, tag int, data any, bytes int) {
 	if c.w.trace != nil {
 		c.w.trace.Rank(c.rank).Send(c.phase, dst, bytes)
 	}
-	c.w.boxes[dst].put(Message{Src: c.rank, Tag: tag, Data: data, Bytes: bytes}, reorder)
+	c.w.boxes[dst].put(Message{Src: c.rank, Tag: tag, Data: data, Bytes: bytes, due: due}, reorder)
 }
 
 // Recv blocks until a message matching (src, tag) arrives. Use
 // AnySource / AnyTag as wildcards.
 func (c *Comm) Recv(src, tag int) Message {
-	if c.w.inj != nil {
-		c.w.inj.onRecv(c)
+	if c.Progress != nil {
+		for {
+			if m, ok := c.w.boxes[c.rank].tryTake(src, tag); ok {
+				if c.w.trace != nil {
+					c.w.trace.Rank(c.rank).Recv(c.phase, m.Src, m.Bytes)
+				}
+				return m
+			}
+			if !c.Progress() {
+				break
+			}
+		}
 	}
 	m := c.w.boxes[c.rank].take(src, tag, c.st)
 	if c.w.trace != nil {

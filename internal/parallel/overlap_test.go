@@ -1,0 +1,204 @@
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/grav"
+	"repro/internal/ic"
+	"repro/internal/integrate"
+	"repro/internal/msg"
+	"repro/internal/vec"
+)
+
+// overlapRun runs one full force evaluation at np ranks with the given
+// latency-hiding knobs and returns the per-ID forces plus the
+// rank-summed interaction counters.
+func overlapRun(t *testing.T, np, n, workers, slots, prefetch int) (map[int64]vec.V3, map[int64]float64, diag.Counters) {
+	t.Helper()
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-4, Quad: true}
+	acc := make(map[int64]vec.V3, n)
+	pot := make(map[int64]float64, n)
+	var sum diag.Counters
+	var mu sync.Mutex
+	msg.Run(np, func(c *msg.Comm) {
+		global := ic.Plummer(n, 1.0, 17)
+		local := core.New(0)
+		local.EnableDynamics()
+		lo, hi := c.Rank()*n/np, (c.Rank()+1)*n/np
+		for i := lo; i < hi; i++ {
+			local.AppendFrom(global, i)
+		}
+		e := New(c, local, Config{
+			MAC: mac, Eps2: 1e-6,
+			EvalWorkers: workers, EvalSlots: slots, PrefetchDepth: prefetch,
+		})
+		defer e.Close()
+		e.ComputeForces()
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < e.Sys.Len(); i++ {
+			acc[e.Sys.ID[i]] = e.Sys.Acc[i]
+			pot[e.Sys.ID[i]] = e.Sys.Pot[i]
+		}
+		sum.Add(e.Counters)
+	})
+	return acc, pot, sum
+}
+
+// TestOverlapBitwiseForceEquivalence is the determinism contract of
+// the walk/eval pipeline and the serve-side prefetch: at 1, 2 and 8
+// ranks, any combination of eval workers and prefetch depth must
+// reproduce the inline schedule's forces bit for bit, with identical
+// PP/PC/QuadPC/Traversals counts. Group body ranges are disjoint and
+// the workers' counters fold as order-independent sums, so nothing
+// about the schedule may leak into the physics.
+func TestOverlapBitwiseForceEquivalence(t *testing.T) {
+	const n = 1200
+	variants := []struct {
+		name                     string
+		workers, slots, prefetch int
+	}{
+		{"workers3", 3, 8, 0},
+		{"prefetch1", 0, 0, 1},
+		{"workers3_prefetch1", 3, 8, 1},
+	}
+	for _, np := range []int{1, 2, 8} {
+		baseAcc, basePot, baseCtr := overlapRun(t, np, n, 0, 0, 0)
+		if len(baseAcc) != n {
+			t.Fatalf("np=%d: baseline covered %d of %d bodies", np, len(baseAcc), n)
+		}
+		for _, v := range variants {
+			acc, pot, ctr := overlapRun(t, np, n, v.workers, v.slots, v.prefetch)
+			if len(acc) != n {
+				t.Fatalf("np=%d %s: covered %d of %d bodies", np, v.name, len(acc), n)
+			}
+			for id, a := range baseAcc {
+				if acc[id] != a || pot[id] != basePot[id] {
+					t.Fatalf("np=%d %s: body %d forces diverged: acc %v vs %v, pot %v vs %v",
+						np, v.name, id, acc[id], a, pot[id], basePot[id])
+				}
+			}
+			if ctr.PP != baseCtr.PP || ctr.PC != baseCtr.PC ||
+				ctr.QuadPC != baseCtr.QuadPC || ctr.Traversals != baseCtr.Traversals {
+				t.Errorf("np=%d %s: counters diverged: PP %d/%d PC %d/%d QuadPC %d/%d Traversals %d/%d",
+					np, v.name, ctr.PP, baseCtr.PP, ctr.PC, baseCtr.PC,
+					ctr.QuadPC, baseCtr.QuadPC, ctr.Traversals, baseCtr.Traversals)
+			}
+		}
+	}
+}
+
+// TestOverlapWorkersMultiCore re-runs the worker variants with
+// GOMAXPROCS raised to 4. newEvalPool clamps spawned workers to
+// GOMAXPROCS-1, so on a single-core host the materialized-slot path
+// (walk on the rank goroutine, eval handed to a pooled slot and drained
+// by worker goroutines truly concurrently) never executes; this test
+// forces it -- and is what puts that path under the race detector.
+func TestOverlapWorkersMultiCore(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const n = 1200
+	for _, np := range []int{2, 8} {
+		baseAcc, basePot, baseCtr := overlapRun(t, np, n, 0, 0, 0)
+		acc, pot, ctr := overlapRun(t, np, n, 3, 16, 1)
+		if len(acc) != n {
+			t.Fatalf("np=%d: covered %d of %d bodies", np, len(acc), n)
+		}
+		for id, a := range baseAcc {
+			if acc[id] != a || pot[id] != basePot[id] {
+				t.Fatalf("np=%d: body %d forces diverged: acc %v vs %v, pot %v vs %v",
+					np, id, acc[id], a, pot[id], basePot[id])
+			}
+		}
+		if ctr.PP != baseCtr.PP || ctr.PC != baseCtr.PC ||
+			ctr.QuadPC != baseCtr.QuadPC || ctr.Traversals != baseCtr.Traversals {
+			t.Errorf("np=%d: counters diverged: PP %d/%d PC %d/%d QuadPC %d/%d Traversals %d/%d",
+				np, ctr.PP, baseCtr.PP, ctr.PC, baseCtr.PC,
+				ctr.QuadPC, baseCtr.QuadPC, ctr.Traversals, baseCtr.Traversals)
+		}
+	}
+}
+
+// overlapBlockRun advances the block-timestep engine with the
+// latency-hiding knobs set, returning final per-ID state and rank-0
+// stepper stats.
+func overlapBlockRun(t *testing.T, np, n, steps int, dt, eta float64, workers, prefetch int) (map[int64]vec.V3, map[int64]vec.V3, integrate.Stats) {
+	t.Helper()
+	mac := grav.MACParams{Kind: grav.MACSalmonWarren, AccelTol: 1e-4, Quad: true}
+	pos := make(map[int64]vec.V3, n)
+	vel := make(map[int64]vec.V3, n)
+	var stats integrate.Stats
+	var mu sync.Mutex
+	msg.Run(np, func(c *msg.Comm) {
+		global := ic.Plummer(n, 1.0, 17)
+		local := core.New(0)
+		local.EnableDynamics()
+		lo, hi := c.Rank()*n/np, (c.Rank()+1)*n/np
+		for i := lo; i < hi; i++ {
+			local.AppendFrom(global, i)
+		}
+		e := New(c, local, Config{
+			MAC: mac, Eps2: 1e-6,
+			EvalWorkers: workers, EvalSlots: 8, PrefetchDepth: prefetch,
+		})
+		defer e.Close()
+		e.Stepper.Scheme = integrate.Block
+		e.Stepper.Eta = eta
+		e.Stepper.Eps = math.Sqrt(1e-6)
+		e.ComputeForces()
+		for s := 0; s < steps; s++ {
+			e.Step(dt)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < e.Sys.Len(); i++ {
+			pos[e.Sys.ID[i]] = e.Sys.Pos[i]
+			vel[e.Sys.ID[i]] = e.Sys.Vel[i]
+		}
+		if c.Rank() == 0 {
+			stats = e.Stepper.Stats
+		}
+	})
+	return pos, vel, stats
+}
+
+// TestOverlapBlockModeBitwise runs the multi-rung block scheduler --
+// whose partial evaluations walk only the active groups, leaving some
+// ranks with empty active sets that still must serve requests (and
+// prefetch subtrees) symmetrically -- and demands bitwise-identical
+// trajectories with the pipeline and prefetch on.
+func TestOverlapBlockModeBitwise(t *testing.T) {
+	const n, steps, dt, eta = 1200, 3, 1e-3, 0.02
+	const np = 8
+	basePos, baseVel, baseStats := overlapBlockRun(t, np, n, steps, dt, eta, 0, 0)
+	if baseStats.PartialEvals == 0 {
+		t.Fatalf("no partial evaluations engaged (stats %+v); the partial-walk path went unexercised", baseStats)
+	}
+	for _, v := range []struct {
+		name              string
+		workers, prefetch int
+	}{
+		{"workers3", 3, 0},
+		{"prefetch1", 0, 1},
+		{"workers3_prefetch1", 3, 1},
+	} {
+		pos, vel, stats := overlapBlockRun(t, np, n, steps, dt, eta, v.workers, v.prefetch)
+		if stats.PartialEvals != baseStats.PartialEvals || stats.FullEvals != baseStats.FullEvals {
+			t.Errorf("%s: schedule diverged: %d partial + %d full evals, want %d + %d",
+				v.name, stats.PartialEvals, stats.FullEvals, baseStats.PartialEvals, baseStats.FullEvals)
+		}
+		if len(pos) != len(basePos) {
+			t.Fatalf("%s: body count %d vs %d", v.name, len(pos), len(basePos))
+		}
+		for id, p := range basePos {
+			if pos[id] != p || vel[id] != baseVel[id] {
+				t.Fatalf("%s: body %d diverged: pos %v vs %v, vel %v vs %v",
+					v.name, id, pos[id], p, vel[id], baseVel[id])
+			}
+		}
+	}
+}

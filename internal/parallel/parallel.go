@@ -52,6 +52,17 @@ type Config struct {
 	// tiled set, grav.ImplRef the reference sweeps (ablations and
 	// cross-kernel equivalence tests).
 	Kernels grav.Impl
+	// EvalWorkers turns on the walk/eval pipeline: completed groups are
+	// evaluated by worker goroutines while the rank keeps walking and
+	// communicating. 0 = inline (historical schedule); forces are
+	// bitwise identical either way.
+	EvalWorkers int
+	// EvalSlots is the pipeline depth (in-flight group evaluations);
+	// 0 = 64 per worker.
+	EvalSlots int
+	// PrefetchDepth makes request replies piggyback the subtree below
+	// each cell, that many levels deep. 0 = off.
+	PrefetchDepth int
 }
 
 // Leaf is the gravity leaf payload of a request reply: position and
@@ -75,7 +86,10 @@ type Engine struct {
 	Stepper integrate.Stepper
 
 	phys *physics
-	w    tree.Walker
+	// walkers is one Walker per pipeline slot (index = the slot
+	// argument of the walk/eval closures); a single entry when the
+	// pipeline is off.
+	walkers []*tree.Walker
 }
 
 // physics is the gravity instantiation of hotengine.Physics: no
@@ -121,12 +135,17 @@ func New(c *msg.Comm, sys *core.System, cfg Config) *Engine {
 	}
 	sys.EnableDynamics()
 	e := &Engine{Cfg: cfg}
-	e.w.Kernels = cfg.Kernels
 	e.phys = &physics{e: e}
 	e.Engine = hotengine.New[hotengine.None, Leaf](c, sys, e.phys, hotengine.Config{
 		MAC: cfg.MAC, Bucket: cfg.Bucket, MaxRounds: cfg.MaxRounds,
 		BuildWorkers: cfg.BuildWorkers, ColdStart: cfg.ColdStart,
+		EvalWorkers: cfg.EvalWorkers, EvalSlots: cfg.EvalSlots,
+		PrefetchDepth: cfg.PrefetchDepth,
 	})
+	e.walkers = make([]*tree.Walker, e.Slots())
+	for i := range e.walkers {
+		e.walkers[i] = &tree.Walker{Kernels: cfg.Kernels}
+	}
 	e.Stepper.B = engineBodies{e}
 	return e
 }
@@ -231,27 +250,40 @@ func (e *Engine) computeForces(minRung int) diag.Counters {
 
 	src := source{e}
 	sys := e.Sys
-	walk := func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key {
+	// The walk stage (rank goroutine) builds the slot's self-contained
+	// interaction list; the eval stage runs the kernels from it and may
+	// execute on a worker goroutine concurrently with later walks. Each
+	// group writes only its own disjoint Acc/Pot/Work rows and the
+	// handed-in counter set, so forces and counts are bitwise identical
+	// to the inline schedule. Walk touches no PP/PC counters, so the
+	// per-body work weight is the eval-local delta.
+	walk := func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) []keys.Key {
 		lo, hi := g.First, g.First+g.N
-		missing := e.w.Walk(src, gk, sys.Pos[lo:hi], &e.Counters)
-		if missing != nil {
-			return missing
-		}
-		e.w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, e.Cfg.MAC.Quad, &e.Counters)
+		return e.walkers[slot].Walk(src, gk, sys.Pos[lo:hi], ctr)
+	}
+	eval := func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) {
+		lo, hi := g.First, g.First+g.N
+		w := e.walkers[slot]
+		before := ctr.PP + ctr.PC
+		w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, e.Cfg.MAC.Quad, ctr)
 		if g.N > 0 {
-			per := float64(e.Counters.PP+e.Counters.PC-snapshot.PP-snapshot.PC) / float64(g.N)
+			per := float64(ctr.PP+ctr.PC-before) / float64(g.N)
 			for i := lo; i < hi; i++ {
 				sys.Work[i] = per
 			}
 		}
-		return nil
 	}
 	if minRung <= 0 {
-		e.WalkGroups("walk", walk)
+		e.WalkGroups("walk", walk, eval)
 	} else {
 		e.WalkGroupsIf("walk", func(g *tree.Cell) bool {
 			return tree.GroupActive(sys, int(g.First), int(g.First+g.N), minRung)
-		}, walk)
+		}, walk, eval)
+	}
+	if len(e.walkers) > 1 {
+		// Level the slot walkers' buffer capacities while they are all
+		// idle, same as ForcePool does between evaluations.
+		tree.EqualizeWalkers(e.walkers)
 	}
 
 	if minRung <= 0 && e.Cfg.AdaptTol > 0 && e.Cfg.MAC.Kind == grav.MACSalmonWarren {

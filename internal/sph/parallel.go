@@ -35,9 +35,12 @@ type ParallelEngine struct {
 
 	phys     *physics
 	stack    []keys.Key
-	cand     candidates
 	pressure []vec.V3
-	w        tree.Walker
+	// cands and ws are one candidate block / gravity walker per
+	// pipeline slot (index = the slot argument of the walk/eval
+	// closures); single entries when the pipeline is off.
+	cands []candidates
+	ws    []*tree.Walker
 }
 
 // ParallelConfig controls the distributed SPH evaluation.
@@ -54,6 +57,14 @@ type ParallelConfig struct {
 	Theta   float64
 	// MaxRounds bounds the request/reply rounds per pass; 0 means 64.
 	MaxRounds int
+	// EvalWorkers turns on the walk/eval pipeline for the force and
+	// gravity passes (the density pass always evaluates inline: it
+	// writes Rho, the column the serve path snapshots). 0 = inline;
+	// results are bitwise identical either way.
+	EvalWorkers int
+	// PrefetchDepth makes request replies piggyback the subtree below
+	// each cell, that many levels deep. 0 = off.
+	PrefetchDepth int
 }
 
 // Leaf is the SPH leaf payload of a request reply: every per-body
@@ -160,11 +171,18 @@ func NewParallel(c *msg.Comm, sys *core.System, cfg ParallelConfig) *ParallelEng
 	e := &ParallelEngine{Cfg: cfg}
 	e.phys = &physics{e: e}
 	e.Engine = hotengine.New[hotengine.None, Leaf](c, sys, e.phys, hotengine.Config{
-		MAC:         grav.MACParams{Kind: grav.MACBarnesHut, Theta: cfg.Theta, Quad: false},
-		Bucket:      cfg.Bucket,
-		MaxRounds:   cfg.MaxRounds,
-		PhasePrefix: "sph",
+		MAC:           grav.MACParams{Kind: grav.MACBarnesHut, Theta: cfg.Theta, Quad: false},
+		Bucket:        cfg.Bucket,
+		MaxRounds:     cfg.MaxRounds,
+		PhasePrefix:   "sph",
+		EvalWorkers:   cfg.EvalWorkers,
+		PrefetchDepth: cfg.PrefetchDepth,
 	})
+	e.cands = make([]candidates, e.Slots())
+	e.ws = make([]*tree.Walker, e.Slots())
+	for i := range e.ws {
+		e.ws[i] = new(tree.Walker)
+	}
 	return e
 }
 
@@ -179,9 +197,15 @@ func (e *ParallelEngine) Eval() diag.Counters {
 	e.Exchange()
 	sys := e.Sys
 
-	e.WalkGroups("density", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
-		return e.walkDensity(g)
-	})
+	// The density pass must evaluate inline (eval nil): it writes
+	// Sys.Rho, the column the serve path's PackLeaf snapshots on the
+	// rank goroutine -- a concurrent eval stage would race those
+	// copies. The force and gravity passes write only per-group
+	// pressure/Acc/Pot/Work rows, none of which serve reads, so they
+	// pipeline freely.
+	e.WalkGroups("density", func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) []keys.Key {
+		return e.walkDensity(g, ctr)
+	}, nil)
 
 	// The force pass reads neighbor densities, which the density pass
 	// just computed on their owning ranks: drop the stale imports and
@@ -193,27 +217,33 @@ func (e *ParallelEngine) Eval() diag.Counters {
 		e.pressure = make([]vec.V3, sys.Len())
 	}
 	e.pressure = e.pressure[:sys.Len()]
-	e.WalkGroups("forces", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
-		return e.walkForces(g)
+	e.WalkGroups("forces", func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) []keys.Key {
+		lo, hi := g.First, g.First+g.N
+		return e.gather(&e.cands[slot], sys.Pos[lo:hi], 2*e.hmax(lo, hi), ctr)
+	}, func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) {
+		e.evalForces(&e.cands[slot], g, ctr)
 	})
 
 	if e.Cfg.Gravity {
 		src := gsource{e}
-		e.WalkGroups("gravity", func(gk keys.Key, g *tree.Cell, snapshot diag.Counters) []keys.Key {
+		e.WalkGroups("gravity", func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) []keys.Key {
 			lo, hi := g.First, g.First+g.N
-			missing := e.w.Walk(src, gk, sys.Pos[lo:hi], &e.Counters)
-			if missing != nil {
-				return missing
-			}
-			e.w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, false, &e.Counters)
+			return e.ws[slot].Walk(src, gk, sys.Pos[lo:hi], ctr)
+		}, func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) {
+			lo, hi := g.First, g.First+g.N
+			w := e.ws[slot]
+			before := ctr.PP + ctr.PC
+			w.Evaluate(sys.Pos[lo:hi], sys.Mass[lo:hi], sys.Acc[lo:hi], sys.Pot[lo:hi], e.Cfg.Eps2, false, ctr)
 			if g.N > 0 {
-				per := float64(e.Counters.PP+e.Counters.PC-snapshot.PP-snapshot.PC) / float64(g.N)
+				per := float64(ctr.PP+ctr.PC-before) / float64(g.N)
 				for i := lo; i < hi; i++ {
 					sys.Work[i] += per
 				}
 			}
-			return nil
 		})
+		if len(e.ws) > 1 {
+			tree.EqualizeWalkers(e.ws)
+		}
 		for i := range sys.Acc {
 			sys.Acc[i] = sys.Acc[i].Add(e.pressure[i])
 		}
@@ -221,16 +251,7 @@ func (e *ParallelEngine) Eval() diag.Counters {
 		copy(sys.Acc, e.pressure)
 	}
 
-	out := e.Counters
-	out.PP -= start.PP
-	out.PC -= start.PC
-	out.QuadPC -= start.QuadPC
-	out.CellsBuilt -= start.CellsBuilt
-	out.Traversals -= start.Traversals
-	out.Deferred -= start.Deferred
-	out.Requests -= start.Requests
-	out.SPHPairs -= start.SPHPairs
-	return out
+	return e.Counters.Sub(start)
 }
 
 // leafColumns returns the per-body columns of a leaf cell, local or
@@ -259,11 +280,14 @@ func (e *ParallelEngine) leafColumns(c *tree.Cell) Leaf {
 // cube-versus-sphere test as the serial Neighbors). Missing remote
 // cells are returned instead; candidate gathering is suppressed once
 // the walk is doomed, but the traversal continues so the whole
-// request set batches into one round.
-func (e *ParallelEngine) gather(gpos []vec.V3, rmax float64) (missing []keys.Key) {
+// request set batches into one round. gather is the walk stage: it
+// always runs on the rank goroutine (Resolve and e.stack are
+// single-owner), filling the slot's candidate block for a possibly
+// concurrent evaluation.
+func (e *ParallelEngine) gather(cand *candidates, gpos []vec.V3, rmax float64, ctr *diag.Counters) (missing []keys.Key) {
 	gc, gr := tree.GroupSphere(gpos)
 	R := gr + rmax
-	e.cand.reset()
+	cand.reset()
 	e.stack = append(e.stack[:0], keys.Root)
 	for len(e.stack) > 0 {
 		k := e.stack[len(e.stack)-1]
@@ -273,7 +297,7 @@ func (e *ParallelEngine) gather(gpos []vec.V3, rmax float64) (missing []keys.Key
 			missing = append(missing, k)
 			continue
 		}
-		e.Counters.Traversals++
+		ctr.Traversals++
 		if c.N == 0 {
 			continue
 		}
@@ -287,12 +311,12 @@ func (e *ParallelEngine) gather(gpos []vec.V3, rmax float64) (missing []keys.Key
 		if c.Leaf {
 			if missing == nil {
 				b := e.leafColumns(c)
-				e.cand.pos = append(e.cand.pos, b.Pos...)
-				e.cand.vel = append(e.cand.vel, b.Vel...)
-				e.cand.mass = append(e.cand.mass, b.Mass...)
-				e.cand.h = append(e.cand.h, b.H...)
-				e.cand.rho = append(e.cand.rho, b.Rho...)
-				e.cand.id = append(e.cand.id, b.ID...)
+				cand.pos = append(cand.pos, b.Pos...)
+				cand.vel = append(cand.vel, b.Vel...)
+				cand.mass = append(cand.mass, b.Mass...)
+				cand.h = append(cand.h, b.H...)
+				cand.rho = append(cand.rho, b.Rho...)
+				cand.id = append(cand.id, b.ID...)
 			}
 			continue
 		}
@@ -318,11 +342,14 @@ func (e *ParallelEngine) hmax(lo, hi int32) float64 {
 
 // walkDensity computes rho by kernel summation for one group, with
 // the same per-pair arithmetic and pair accounting as the serial
-// Density (self included).
-func (e *ParallelEngine) walkDensity(g *tree.Cell) []keys.Key {
+// Density (self included). Inline-only (it writes Sys.Rho and
+// Sys.Work, columns the serve path reads), so it always uses slot 0's
+// candidate block and the rank's own counters.
+func (e *ParallelEngine) walkDensity(g *tree.Cell, ctr *diag.Counters) []keys.Key {
 	sys := e.Sys
+	cand := &e.cands[0]
 	lo, hi := g.First, g.First+g.N
-	if missing := e.gather(sys.Pos[lo:hi], 2*e.hmax(lo, hi)); missing != nil {
+	if missing := e.gather(cand, sys.Pos[lo:hi], 2*e.hmax(lo, hi), ctr); missing != nil {
 		return missing
 	}
 	var pairs uint64
@@ -330,16 +357,16 @@ func (e *ParallelEngine) walkDensity(g *tree.Cell) []keys.Key {
 		h := sys.H[i]
 		r := 2 * h
 		rho := 0.0
-		for j := range e.cand.pos {
-			d := sys.Pos[i].Sub(e.cand.pos[j]).Norm()
+		for j := range cand.pos {
+			d := sys.Pos[i].Sub(cand.pos[j]).Norm()
 			if d <= r {
-				rho += e.cand.mass[j] * W(d, h)
+				rho += cand.mass[j] * W(d, h)
 				pairs++
 			}
 		}
 		sys.Rho[i] = rho
 	}
-	e.Counters.SPHPairs += pairs
+	ctr.SPHPairs += pairs
 	// Neighbor pairs are the work the next decomposition balances
 	// (the gravity pass adds its own share on top).
 	if g.N > 0 {
@@ -351,50 +378,49 @@ func (e *ParallelEngine) walkDensity(g *tree.Cell) []keys.Key {
 	return nil
 }
 
-// walkForces computes the symmetric pressure force plus Monaghan
-// artificial viscosity for one group, matching the serial Forces
-// pair for pair (self-pairs excluded by particle ID, which is what
-// the serial index test means once neighbors can be remote copies).
-func (e *ParallelEngine) walkForces(g *tree.Cell) []keys.Key {
+// evalForces computes the symmetric pressure force plus Monaghan
+// artificial viscosity for one group from its gathered candidate
+// block, matching the serial Forces pair for pair (self-pairs
+// excluded by particle ID, which is what the serial index test means
+// once neighbors can be remote copies). The eval stage of the force
+// pass: it writes only this group's pressure rows and ctr, and reads
+// sys columns no concurrent stage writes, so it may run on a worker.
+func (e *ParallelEngine) evalForces(cand *candidates, g *tree.Cell, ctr *diag.Counters) {
 	sys := e.Sys
 	lo, hi := g.First, g.First+g.N
-	if missing := e.gather(sys.Pos[lo:hi], 2*e.hmax(lo, hi)); missing != nil {
-		return missing
-	}
 	p := &e.Cfg.Params
 	for i := lo; i < hi; i++ {
 		hsml := sys.H[i]
 		r := 2 * hsml
 		Pi := p.pressure(sys.Rho[i])
 		var acc vec.V3
-		for j := range e.cand.pos {
-			if e.cand.id[j] == sys.ID[i] {
+		for j := range cand.pos {
+			if cand.id[j] == sys.ID[i] {
 				continue
 			}
-			rij := sys.Pos[i].Sub(e.cand.pos[j])
+			rij := sys.Pos[i].Sub(cand.pos[j])
 			if rij.Norm() > r {
 				continue
 			}
-			hbar := 0.5 * (hsml + e.cand.h[j])
-			Pj := p.pressure(e.cand.rho[j])
-			term := Pi/(sys.Rho[i]*sys.Rho[i]) + Pj/(e.cand.rho[j]*e.cand.rho[j])
+			hbar := 0.5 * (hsml + cand.h[j])
+			Pj := p.pressure(cand.rho[j])
+			term := Pi/(sys.Rho[i]*sys.Rho[i]) + Pj/(cand.rho[j]*cand.rho[j])
 			// Artificial viscosity on approaching pairs.
 			if p.AlphaVisc > 0 {
-				vij := sys.Vel[i].Sub(e.cand.vel[j])
+				vij := sys.Vel[i].Sub(cand.vel[j])
 				vr := vij.Dot(rij)
 				if vr < 0 {
 					mu := hbar * vr / (rij.Norm2() + 0.01*hbar*hbar)
-					rhob := 0.5 * (sys.Rho[i] + e.cand.rho[j])
-					cbar := 0.5 * (p.soundSpeed(sys.Rho[i]) + p.soundSpeed(e.cand.rho[j]))
+					rhob := 0.5 * (sys.Rho[i] + cand.rho[j])
+					cbar := 0.5 * (p.soundSpeed(sys.Rho[i]) + p.soundSpeed(cand.rho[j]))
 					term += (-p.AlphaVisc*cbar*mu + p.BetaVisc*mu*mu) / rhob
 				}
 			}
-			acc = acc.Sub(GradW(rij, hbar).Scale(e.cand.mass[j] * term))
-			e.Counters.SPHPairs++
+			acc = acc.Sub(GradW(rij, hbar).Scale(cand.mass[j] * term))
+			ctr.SPHPairs++
 		}
 		e.pressure[i] = acc
 	}
-	return nil
 }
 
 // gsource adapts the engine's cell stores into a tree.Source for the

@@ -71,6 +71,12 @@ type RankSample struct {
 	Sent msg.PhaseTraffic
 	// Bodies is the rank's current local body count.
 	Bodies int
+	// Overlap accounting (cumulative): rank wall time inside walk
+	// collectives, eval-worker busy time, and how much of the latter
+	// ran inside the former. Zero when the pipeline is off.
+	CommNs           int64
+	EvalBusyNs       int64
+	EvalDuringCommNs int64
 
 	// HasEnergy marks Kinetic/Potential/Momentum as meaningful (the
 	// gravity and SPH engines set it; vortex dynamics has no softened
@@ -130,6 +136,12 @@ type Sample struct {
 	// Registry (0 when no histogram is attached).
 	StallP99Ns uint64 `json:"stall_p99_ns"`
 
+	// OverlapFrac is this step's eval-during-comm over eval-busy
+	// seconds (0 when the walk/eval pipeline is off or idle);
+	// PrefetchHitRate this step's prefetch-used over prefetched cells.
+	OverlapFrac     float64 `json:"overlap_frac"`
+	PrefetchHitRate float64 `json:"prefetch_hit_rate"`
+
 	Bodies int `json:"bodies"`
 }
 
@@ -163,12 +175,14 @@ type slot struct {
 // totals is the cumulative aggregate the delta of each sample is taken
 // against.
 type totals struct {
-	counters    diag.Counters
-	msgs, bytes uint64
-	subSteps    uint64
-	activeSinks uint64
-	totalSinks  uint64
-	wallNs      int64
+	counters         diag.Counters
+	msgs, bytes      uint64
+	subSteps         uint64
+	activeSinks      uint64
+	totalSinks       uint64
+	wallNs           int64
+	evalBusyNs       int64
+	evalDuringCommNs int64
 }
 
 // Sampler collects per-rank step contributions into a ring of Samples
@@ -269,6 +283,8 @@ func (s *Sampler) assemble() {
 		cum.subSteps += rs.SubSteps
 		cum.activeSinks += rs.ActiveSinks
 		cum.totalSinks += rs.TotalSinks
+		cum.evalBusyNs += rs.EvalBusyNs
+		cum.evalDuringCommNs += rs.EvalDuringCommNs
 		if rs.HasEnergy {
 			hasEnergy = true
 			kin += rs.Kinetic
@@ -325,6 +341,12 @@ func (s *Sampler) assemble() {
 	if s.cfg.Registry != nil {
 		smp.StallP99Ns = s.cfg.Registry.Histogram(metrics.StallHistogram).Quantile(0.99)
 	}
+	if db := cum.evalBusyNs - s.prev.evalBusyNs; db > 0 {
+		smp.OverlapFrac = float64(cum.evalDuringCommNs-s.prev.evalDuringCommNs) / float64(db)
+	}
+	if dp := d.Prefetched; dp > 0 {
+		smp.PrefetchHitRate = float64(d.PrefetchUsed) / float64(dp)
+	}
 	s.prev = cum
 	s.push(smp)
 	s.mu.Unlock()
@@ -364,6 +386,8 @@ func (s *Sampler) publish(smp *Sample) {
 	reg.Gauge("telemetry_energy_drift").Set(smp.EnergyDrift)
 	reg.Gauge("telemetry_active_fraction").Set(smp.ActiveFraction)
 	reg.Gauge("telemetry_imbalance").Set(smp.Imbalance)
+	reg.Gauge("telemetry_overlap_frac").Set(smp.OverlapFrac)
+	reg.Gauge("telemetry_prefetch_hit_rate").Set(smp.PrefetchHitRate)
 	reg.Gauge("telemetry_bodies").Set(float64(smp.Bodies))
 }
 

@@ -119,16 +119,24 @@ func (p *ForcePool) Gravity(t *Tree, eps2 float64) diag.Counters {
 // grow mid-evaluation; after one full evaluation plus equalize, every
 // walker can hold the largest list any group produces and the steady
 // state allocates nothing. Runs between evaluations, workers idle.
-func (p *ForcePool) equalize() {
+func (p *ForcePool) equalize() { EqualizeWalkers(p.walkers) }
+
+// EqualizeWalkers levels every walker's buffer capacities (interaction
+// list, SoA target block, traversal stack) up to the fleet-wide
+// maximum, so after one full evaluation no walker has to grow
+// mid-flight no matter which groups it is handed next time. Callers
+// must hold all walkers idle (between evaluations); the distributed
+// engines' eval slot pools use this the same way ForcePool does.
+func EqualizeWalkers(walkers []*Walker) {
 	var nb, nc, nt, ns, nstack int
-	for _, w := range p.walkers {
+	for _, w := range walkers {
 		b, c := w.List.Caps()
 		t, s := w.tg.Caps()
 		nb, nc = max(nb, b), max(nc, c)
 		nt, ns = max(nt, t), max(ns, s)
 		nstack = max(nstack, cap(w.stack))
 	}
-	for _, w := range p.walkers {
+	for _, w := range walkers {
 		w.List.Grow(nb, nc)
 		w.tg.Grow(nt, ns)
 		if cap(w.stack) < nstack {

@@ -28,8 +28,8 @@ type ParallelEngine struct {
 	Theta float64
 
 	phys   *vphysics
-	list   vList
-	tg     vTargets
+	lists  []vList
+	tgs    []vTargets
 	stack  []keys.Key
 	dAlpha []vec.V3
 }
@@ -105,7 +105,27 @@ func NewParallel(c *msg.Comm, sys *core.System, sigma, theta float64) *ParallelE
 		Bucket:      32,
 		PhasePrefix: "v",
 	})
+	e.ensureSlots()
 	return e
+}
+
+// EnableOverlap turns on the pipelined walk/eval schedule (and serve-side
+// prefetch) after construction, resizing the per-slot scratch to match.
+func (e *ParallelEngine) EnableOverlap(workers, prefetchDepth int) {
+	e.ConfigureOverlap(workers, prefetchDepth)
+	e.ensureSlots()
+}
+
+// ensureSlots sizes the per-slot interaction lists and target blocks to
+// the engine's slot count (1 when the pipeline is off).
+func (e *ParallelEngine) ensureSlots() {
+	n := e.Slots()
+	for len(e.lists) < n {
+		e.lists = append(e.lists, vList{})
+	}
+	for len(e.tgs) < n {
+		e.tgs = append(e.tgs, vTargets{})
+	}
 }
 
 // Eval runs one distributed evaluation: sys.Vel is filled and the
@@ -114,9 +134,13 @@ func NewParallel(c *msg.Comm, sys *core.System, sigma, theta float64) *ParallelE
 func (e *ParallelEngine) Eval() []vec.V3 {
 	e.Exchange()
 	e.dAlpha = make([]vec.V3, e.Sys.Len())
-	e.WalkGroups("walk", func(gk keys.Key, g *tree.Cell, _ diag.Counters) []keys.Key {
-		return e.walkGroup(g)
-	})
+	walk := func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) []keys.Key {
+		return e.walkGroup(slot, g, ctr)
+	}
+	eval := func(slot int, gk keys.Key, g *tree.Cell, ctr *diag.Counters) {
+		e.evalGroup(slot, g, ctr)
+	}
+	e.WalkGroups("walk", walk, eval)
 	return e.dAlpha
 }
 
@@ -130,17 +154,17 @@ func (e *ParallelEngine) leafBodies(c *tree.Cell) ([]vec.V3, []vec.V3) {
 }
 
 // walkGroup builds one group's interaction list (SoA source columns
-// plus a monopole slab), returning missing keys instead if any cell
-// is unresolved (the list is discarded and the group rewalked after
-// the data arrives). A completed list is swept with the batched
-// kernels.
-func (e *ParallelEngine) walkGroup(g *tree.Cell) (missing []keys.Key) {
+// plus a monopole slab) into the slot's vList, returning missing keys
+// instead if any cell is unresolved (the list is discarded and the
+// group rewalked after the data arrives). The walk runs only on the
+// rank goroutine; e.stack is shared across slots for that reason.
+func (e *ParallelEngine) walkGroup(slot int, g *tree.Cell, ctr *diag.Counters) (missing []keys.Key) {
 	sys := e.Sys
 	lo, hi := g.First, g.First+g.N
-	gpos, galpha := sys.Pos[lo:hi], sys.Alpha[lo:hi]
+	gpos := sys.Pos[lo:hi]
 	gc, gr := tree.GroupSphere(gpos)
-	s2 := e.Sigma * e.Sigma
-	e.list.reset()
+	list := &e.lists[slot]
+	list.reset()
 	e.stack = append(e.stack[:0], keys.Root)
 	for len(e.stack) > 0 {
 		k := e.stack[len(e.stack)-1]
@@ -150,18 +174,18 @@ func (e *ParallelEngine) walkGroup(g *tree.Cell) (missing []keys.Key) {
 			missing = append(missing, k)
 			continue
 		}
-		e.Counters.Traversals++
+		ctr.Traversals++
 		if c.Mp.M == 0 {
 			continue // zero total |alpha|: no contribution
 		}
 		dd := c.Mp.COM.Sub(gc).Norm()
 		if dd-gr > c.RCrit && dd > gr {
-			e.list.cells = append(e.list.cells, cellMoment{ASum: *asum, Centroid: c.Mp.COM})
+			list.cells = append(list.cells, cellMoment{ASum: *asum, Centroid: c.Mp.COM})
 			continue
 		}
 		if c.Leaf {
 			spos, salpha := e.leafBodies(c)
-			e.list.addBodies(spos, salpha)
+			list.addBodies(spos, salpha)
 			continue
 		}
 		for oct := 0; oct < 8; oct++ {
@@ -170,14 +194,23 @@ func (e *ParallelEngine) walkGroup(g *tree.Cell) (missing []keys.Key) {
 			}
 		}
 	}
-	if missing != nil {
-		return missing
-	}
-	e.tg.load(gpos, galpha)
-	e.Counters.VortexPP += evalVelMono(&e.tg, e.list.cells, s2)
-	e.Counters.VortexPP += evalVelPP(&e.tg, &e.list, s2)
-	e.tg.store(sys.Vel[lo:hi], e.dAlpha[lo:hi])
-	return nil
+	return missing
+}
+
+// evalGroup sweeps a completed interaction list with the batched
+// kernels. Sources were copied into the slot's vList by the walk, so
+// the sweep touches only the group's own Vel/dAlpha rows and the slot
+// scratch -- safe to run on an eval worker during communication.
+func (e *ParallelEngine) evalGroup(slot int, g *tree.Cell, ctr *diag.Counters) {
+	sys := e.Sys
+	lo, hi := g.First, g.First+g.N
+	s2 := e.Sigma * e.Sigma
+	list := &e.lists[slot]
+	tg := &e.tgs[slot]
+	tg.load(sys.Pos[lo:hi], sys.Alpha[lo:hi])
+	ctr.VortexPP += evalVelMono(tg, list.cells, s2)
+	ctr.VortexPP += evalVelPP(tg, list, s2)
+	tg.store(sys.Vel[lo:hi], e.dAlpha[lo:hi])
 }
 
 // saved carries a particle's pre-step state across rank migrations.

@@ -69,6 +69,19 @@ for np in 2 8; do
 	done
 done
 
+# Overlap pass: with the walk/eval pipeline and prefetch on, faults
+# land while the rank goroutine is running deferred walks inside a
+# collective's Progress hook and while serve is packing prefetch
+# subtrees -- containment must hold on the pipelined schedule too (a
+# crash mid-hook must still unwind into a structured abort, never a
+# deadlock on the eval pool's slot tokens).
+for np in 2 8; do
+	for seed in $seeds; do
+		run_one "$bin" -n 3000 -procs "$np" -steps 2 -evalworkers 2 -prefetch 1 \
+			-watchdog 2s -chaos "seed=$seed,crash=0.002,stall=0.002,latency=0.02"
+	done
+done
+
 # Block-timestep pass: the hierarchical scheduler multiplies the
 # collectives per step (sub-step evaluations, rung allreduces, the
 # splits-reuse decision), so one crash/stall spec soaks that schedule

@@ -16,7 +16,7 @@ go test -race ./...
 echo "== go test -race -count=1 (concurrency-heavy packages, uncached)"
 go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./internal/msg \
 	./internal/core ./internal/tree ./internal/domain ./internal/abm ./internal/hotengine \
-	./internal/integrate ./internal/telemetry
+	./internal/integrate ./internal/telemetry ./internal/parallel
 echo "== telemetry smoke (treebench -http: scrape /metrics /report /series /health)"
 sh scripts/telemetry_smoke.sh
 echo "== chaos soak (bounded, fixed seeds; clean exit or structured abort, never a hang)"
@@ -41,4 +41,12 @@ echo "== benchcmp (interaction-kernel + stepper ablations, tol 50%)"
 	go test -run='^$' -bench='Ablation_Eval' -benchtime=100x .
 	go test -run='^$' -bench='Ablation_Step' -benchtime=1x .
 } | go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_(Eval|Step)' -tol 0.5
+echo "== benchcmp (latency-hiding ablations: walk overlap + prefetch, tol 50%)"
+# Injected-latency A/B at np=8: wall clock on a shared single-core
+# host is noisy, so the timing tolerance is loose; the hard guards are
+# the bitwise force-equivalence tests (internal/parallel) and the
+# ratio assertions the PR's acceptance ran. walk_s/op and stall_p99_ms
+# travel in the baseline as custom metrics for eyeballing trends.
+go test -run='^$' -bench='Ablation_(WalkOverlap|Prefetch)' -benchtime=1x . |
+	go run ./cmd/benchdump -compare BENCH_baseline.json -match 'Ablation_(WalkOverlap|Prefetch)' -tol 0.5
 echo "== ok"
