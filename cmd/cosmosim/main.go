@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/cosmo"
 	"repro/internal/grav"
@@ -47,9 +48,11 @@ func main() {
 	noProgress := flag.Duration("noprogress", 3*time.Second, "telemetry no-progress health threshold (with -http; 0 = off)")
 	flag.Parse()
 	lg := telemetry.NewLogger(os.Stderr, "cosmosim")
-	if *dtmode != "uniform" && *dtmode != "block" {
-		lg.Error("unknown -dtmode (want uniform or block)", "dtmode", *dtmode)
-		os.Exit(1)
+	if _, err := (cliutil.Flags{
+		N: *grid, Procs: *procs, Steps: *steps, DTMode: *dtmode, Eta: *eta,
+		EvalWorkers: *evalWorkers, Prefetch: *prefetch,
+	}).Validate(); err != nil {
+		cliutil.Fail("cosmosim", err)
 	}
 
 	r, err := cosmo.NewRealization(cosmo.Params{

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/ic"
@@ -41,6 +42,12 @@ func main() {
 	prefetch := flag.Int("prefetch", 0, "serve-side prefetch depth for the distributed run: replies piggyback the subtree below each requested cell (0 = off)")
 	flag.Parse()
 	lg := telemetry.NewLogger(os.Stderr, "sphsim")
+	if _, err := (cliutil.Flags{
+		N: *n, Procs: *procs, Steps: *steps,
+		EvalWorkers: *evalWorkers, Prefetch: *prefetch,
+	}).Validate(); err != nil {
+		cliutil.Fail("sphsim", err)
+	}
 
 	if *cpuprofile != "" {
 		stop, err := trace.StartCPUProfile(*cpuprofile)

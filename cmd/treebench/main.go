@@ -8,10 +8,9 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/grav"
 	"repro/internal/ic"
@@ -45,9 +44,12 @@ func main() {
 	noProgress := flag.Duration("noprogress", 3*time.Second, "telemetry no-progress health threshold (with -http; 0 = off)")
 	flag.Parse()
 	lg := telemetry.NewLogger(os.Stderr, "treebench")
-	if *dtmode != "uniform" && *dtmode != "block" {
-		lg.Error("unknown -dtmode (want uniform or block)", "dtmode", *dtmode)
-		os.Exit(1)
+	inj, err := cliutil.Flags{
+		N: *n, Procs: *procs, Steps: *steps, DTMode: *dtmode, Eta: *eta,
+		EvalWorkers: *evalWorkers, Prefetch: *prefetch, Chaos: *chaosSpec,
+	}.Validate()
+	if err != nil {
+		cliutil.Fail("treebench", err)
 	}
 
 	if *cpuprofile != "" {
@@ -98,13 +100,7 @@ func main() {
 	engines := make([]*parallel.Engine, *procs)
 	w := msg.NewWorld(*procs)
 	w.SetTrace(run)
-	var inj *msg.Injector
-	if *chaosSpec != "" {
-		var err error
-		if inj, err = parseChaos(*chaosSpec); err != nil {
-			lg.Error("bad chaos spec", "err", err)
-			os.Exit(2)
-		}
+	if inj != nil {
 		w.SetInjector(inj)
 		if *watchdog == 0 {
 			*watchdog = 5 * time.Second
@@ -229,53 +225,4 @@ func main() {
 		est := m.Model(flops, perfmodel.RegimeTreeEarly, comm)
 		fmt.Printf("modeled on %s\n  %s\n", m.Name, est)
 	}
-}
-
-// parseChaos builds a fault injector from a "key=value,..." spec:
-// seed (uint), crash/stall/latency/reorder (probabilities in [0,1]),
-// crashphase/stallphase (phase labels gating crash/stall).
-func parseChaos(spec string) (*msg.Injector, error) {
-	inj := &msg.Injector{}
-	for _, kv := range strings.Split(spec, ",") {
-		kv = strings.TrimSpace(kv)
-		if kv == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(kv, "=")
-		if !ok {
-			return nil, fmt.Errorf("bad chaos field %q (want key=value)", kv)
-		}
-		switch key {
-		case "crashphase":
-			inj.CrashPhase = val
-			continue
-		case "stallphase":
-			inj.StallPhase = val
-			continue
-		case "seed":
-			s, err := strconv.ParseUint(val, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad chaos seed %q", val)
-			}
-			inj.Seed = s
-			continue
-		}
-		p, err := strconv.ParseFloat(val, 64)
-		if err != nil || p < 0 || p > 1 {
-			return nil, fmt.Errorf("bad chaos probability %q=%q (want [0,1])", key, val)
-		}
-		switch key {
-		case "crash":
-			inj.CrashProb = p
-		case "stall":
-			inj.StallProb = p
-		case "latency":
-			inj.LatencyProb = p
-		case "reorder":
-			inj.ReorderProb = p
-		default:
-			return nil, fmt.Errorf("unknown chaos key %q", key)
-		}
-	}
-	return inj, nil
 }

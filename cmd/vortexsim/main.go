@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/ic"
@@ -42,6 +43,12 @@ func main() {
 	prefetch := flag.Int("prefetch", 0, "serve-side prefetch depth for the distributed run: replies piggyback the subtree below each requested cell (0 = off)")
 	flag.Parse()
 	lg := telemetry.NewLogger(os.Stderr, "vortexsim")
+	if _, err := (cliutil.Flags{
+		N: *nTheta * *nCore, Procs: *procs, Steps: *steps,
+		EvalWorkers: *evalWorkers, Prefetch: *prefetch,
+	}).Validate(); err != nil {
+		cliutil.Fail("vortexsim", err)
+	}
 
 	if *cpuprofile != "" {
 		stop, err := trace.StartCPUProfile(*cpuprofile)

@@ -1,0 +1,104 @@
+// Admission batching: accepted jobs are not handed to the worker
+// pool one by one but in time/size-windowed batches, the same
+// batching discipline the engines apply to their request rounds. The
+// point at service scale is admission smoothing -- a burst of
+// submissions becomes one dispatch with one lock acquisition and one
+// metrics update per window, and the window gives the scheduler a
+// natural place to apply policy (today: FIFO within a batch; the
+// shape is where priorities or fairness would land).
+//
+// Flush rules, whichever comes first:
+//   - the batch reaches MaxBatch jobs -> flush now;
+//   - Window elapses after the batch's FIRST job arrived -> flush
+//     whatever is pending.
+
+package simserve
+
+import (
+	"sync"
+	"time"
+)
+
+// batcher collects submitted jobs and flushes them in batches to a
+// sink. Safe for concurrent Submit; the flusher is a single timer
+// goroutine armed only while jobs are pending.
+type batcher struct {
+	window time.Duration
+	max    int
+	flush  func([]*Job) // called outside the lock, jobs in arrival order
+
+	mu      sync.Mutex
+	pending []*Job
+	timer   *time.Timer
+	closed  bool
+}
+
+func newBatcher(window time.Duration, max int, flush func([]*Job)) *batcher {
+	if window <= 0 {
+		window = 5 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 16
+	}
+	return &batcher{window: window, max: max, flush: flush}
+}
+
+// submit queues one job for the next flush. Returns false after
+// close (the caller rejects the job).
+func (b *batcher) submit(j *Job) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	b.pending = append(b.pending, j)
+	var batch []*Job
+	switch {
+	case len(b.pending) >= b.max:
+		batch = b.take()
+	case len(b.pending) == 1:
+		// First job of a fresh window: arm the timer.
+		b.timer = time.AfterFunc(b.window, b.onTimer)
+	}
+	b.mu.Unlock()
+	if batch != nil {
+		b.flush(batch)
+	}
+	return true
+}
+
+// onTimer flushes whatever accumulated during the window.
+func (b *batcher) onTimer() {
+	b.mu.Lock()
+	batch := b.take()
+	b.mu.Unlock()
+	if batch != nil {
+		b.flush(batch)
+	}
+}
+
+// take detaches the pending batch and disarms the timer. Caller
+// holds b.mu.
+func (b *batcher) take() []*Job {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.pending) == 0 {
+		return nil
+	}
+	batch := b.pending
+	b.pending = nil
+	return batch
+}
+
+// close flushes any stragglers and refuses further submissions.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	batch := b.take()
+	b.mu.Unlock()
+	if batch != nil {
+		b.flush(batch)
+	}
+}

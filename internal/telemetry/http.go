@@ -21,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/metrics"
@@ -35,7 +36,19 @@ type Endpoint struct {
 
 // Handler returns the telemetry route mux for s. Usable standalone
 // (tests, or an embedding service that owns its own server).
+//
+// A nil Sampler gets a handler that answers 503 on every route: the
+// /health route used to tolerate nil while /series and /metrics
+// dereferenced it, so whether a disabled endpoint answered or crashed
+// depended on which route was hit first. One uniform 503 keeps a
+// service that mounts a per-job handler before the job's sampler
+// exists honest.
 func Handler(s *Sampler) http.Handler {
+	if s == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "telemetry disabled", http.StatusServiceUnavailable)
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -55,9 +68,16 @@ func Handler(s *Sampler) http.Handler {
 		WritePrometheus(w, s.registry())
 	})
 	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		// strconv.Atoi, not Sscanf: "5x" must be a 400, not a silent 5,
+		// and a negative count is a caller bug worth surfacing.
 		n := 0
 		if q := r.URL.Query().Get("n"); q != "" {
-			fmt.Sscanf(q, "%d", &n)
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad n=%q (want a non-negative integer)", q), http.StatusBadRequest)
+				return
+			}
+			n = v
 		}
 		writeJSON(w, struct {
 			Samples []Sample `json:"samples"`
@@ -66,9 +86,7 @@ func Handler(s *Sampler) http.Handler {
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		// A pull-only deployment has no watcher goroutine; evaluate
 		// liveness on inspection so a flatlined run cannot hide.
-		if s != nil {
-			s.health.checkProgress()
-		}
+		s.health.checkProgress()
 		events := s.Events()
 		status := "ok"
 		for _, ev := range events {

@@ -136,25 +136,81 @@ func TestHealthRouteDetectsFlatline(t *testing.T) {
 	}
 }
 
-// A nil sampler serves honest emptiness, not panics: the endpoint can
-// be mounted before telemetry is enabled.
+// A nil sampler answers 503 on EVERY route. It used to serve a mix:
+// /health guarded the dereference while /series and /metrics would
+// have crashed on the first nil-only path they touched -- whether the
+// endpoint worked depended on which route was hit first. One uniform
+// "telemetry disabled" keeps a service that mounts per-job handlers
+// before the job's sampler exists honest.
 func TestHandlerNilSampler(t *testing.T) {
 	srv := httptest.NewServer(Handler(nil))
 	defer srv.Close()
-	if code, body := get(t, srv, "/"); code != 200 || !strings.Contains(body, "disabled") {
-		t.Fatalf("index = %d %q", code, body)
+	for _, path := range []string{"/", "/metrics", "/series", "/series?n=5", "/health", "/report", "/debug/pprof/"} {
+		code, body := get(t, srv, path)
+		if code != 503 {
+			t.Errorf("%s on nil sampler = %d, want 503", path, code)
+		}
+		if !strings.Contains(body, "disabled") {
+			t.Errorf("%s on nil sampler: body %q does not say disabled", path, body)
+		}
 	}
-	if code, _ := get(t, srv, "/metrics"); code != 200 {
-		t.Fatalf("/metrics on nil sampler = %d", code)
+}
+
+// /series?n= takes a non-negative integer and nothing else: Sscanf
+// used to accept garbage prefixes ("5x" parsed as 5) and let negative
+// values flow into Sampler.Samples.
+func TestSeriesQueryValidation(t *testing.T) {
+	s := NewSampler(Config{NP: 1, Monitors: MonitorConfig{Log: discard()}})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		s.Contribute(0, rank(uint64(100+i), 10e6, 5, 1000))
 	}
-	if code, _ := get(t, srv, "/series"); code != 200 {
-		t.Fatalf("/series on nil sampler = %d", code)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	for _, q := range []string{"5x", "-1", "-5", "x", "1.5", "0x10", " 3"} {
+		if code, body := get(t, srv, "/series?n="+q); code != 400 {
+			t.Errorf("/series?n=%s = %d (%q), want 400", q, code, body)
+		}
 	}
-	if code, _ := get(t, srv, "/health"); code != 200 {
-		t.Fatalf("/health on nil sampler = %d", code)
+	for _, tc := range []struct {
+		q    string
+		want int
+	}{{"0", 3}, {"2", 2}, {"100", 3}, {"", 3}} {
+		path := "/series"
+		if tc.q != "" {
+			path += "?n=" + tc.q
+		}
+		code, body := get(t, srv, path)
+		if code != 200 {
+			t.Fatalf("%s = %d", path, code)
+		}
+		var series struct {
+			Samples []Sample `json:"samples"`
+		}
+		if err := json.Unmarshal([]byte(body), &series); err != nil {
+			t.Fatalf("%s JSON: %v", path, err)
+		}
+		if len(series.Samples) != tc.want {
+			t.Errorf("%s = %d samples, want %d", path, len(series.Samples), tc.want)
+		}
 	}
-	if code, _ := get(t, srv, "/report"); code != 503 {
-		t.Fatalf("/report on nil sampler = %d, want 503", code)
+}
+
+// Samples(-1) is pinned as "all buffered", same as 0: the HTTP layer
+// rejects negatives before they get here, but direct callers rely on
+// max <= 0 meaning everything.
+func TestSamplesNegativeMax(t *testing.T) {
+	s := NewSampler(Config{NP: 1, Monitors: MonitorConfig{Log: discard()}})
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		s.Contribute(0, rank(uint64(10+i), 1e6, 1, 10))
+	}
+	if got := len(s.Samples(-1)); got != 4 {
+		t.Fatalf("Samples(-1) = %d samples, want all 4", got)
+	}
+	if got := len(s.Samples(0)); got != 4 {
+		t.Fatalf("Samples(0) = %d samples, want all 4", got)
 	}
 }
 

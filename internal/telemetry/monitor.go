@@ -145,17 +145,17 @@ func (h *health) onSample(smp *Sample) {
 		})
 	}
 	if cfg.ImbalanceMax > 0 && smp.Imbalance > 0 {
-		if smp.Imbalance > cfg.ImbalanceMax {
-			h.imbal++
-		} else {
-			h.imbal = 0
-		}
-		h.edge(MonitorImbalance, h.imbal >= cfg.ImbalanceRuns, func() HealthEvent {
+		// The streak counter lives under h.mu: two ranks can assemble
+		// consecutive steps concurrently (one rank racing a step ahead
+		// is within the sampler's contract), so the debounce must not
+		// be a bare field increment.
+		streak := h.bumpImbal(smp.Imbalance > cfg.ImbalanceMax)
+		h.edge(MonitorImbalance, streak >= cfg.ImbalanceRuns, func() HealthEvent {
 			return HealthEvent{
 				Step: smp.Step, Monitor: MonitorImbalance, Severity: SeverityWarn,
 				Value: smp.Imbalance, Threshold: cfg.ImbalanceMax,
 				Message: fmt.Sprintf("per-rank step imbalance %.2fx over %d consecutive samples (threshold %.2fx)",
-					smp.Imbalance, h.imbal, cfg.ImbalanceMax),
+					smp.Imbalance, streak, cfg.ImbalanceMax),
 			}
 		})
 	}
@@ -242,6 +242,19 @@ func (h *health) edge(monitor string, cond bool, make func() HealthEvent) {
 	h.mu.Unlock()
 
 	h.emit(ev)
+}
+
+// bumpImbal advances (or resets) the imbalance streak under the
+// monitor lock and returns the new streak length.
+func (h *health) bumpImbal(over bool) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if over {
+		h.imbal++
+	} else {
+		h.imbal = 0
+	}
+	return h.imbal
 }
 
 // rearm clears a monitor's firing state without emitting.

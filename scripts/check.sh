@@ -16,9 +16,12 @@ go test -race ./...
 echo "== go test -race -count=1 (concurrency-heavy packages, uncached)"
 go test -race -count=1 ./internal/trace ./internal/metrics ./internal/diag ./internal/msg \
 	./internal/core ./internal/tree ./internal/domain ./internal/abm ./internal/hotengine \
-	./internal/integrate ./internal/telemetry ./internal/parallel
+	./internal/integrate ./internal/telemetry ./internal/parallel ./internal/simserve \
+	./internal/cliutil
 echo "== telemetry smoke (treebench -http: scrape /metrics /report /series /health)"
 sh scripts/telemetry_smoke.sh
+echo "== simserve smoke (daemon + crash-injected job contained + bench throughput)"
+sh scripts/simserve_smoke.sh
 echo "== chaos soak (bounded, fixed seeds; clean exit or structured abort, never a hang)"
 sh scripts/chaos.sh quick
 echo "== bce (hot interaction kernels stay bounds-check-free, -d=ssa/check_bce)"

@@ -1,0 +1,114 @@
+#!/bin/sh
+# Simserve smoke test: boot the daemon on a random port, submit a
+# batch of jobs including one with an injected crash, and verify the
+# service's isolation contract end to end -- the crash-injected job
+# fails, every healthy job completes, identical specs produce
+# identical forces hashes, /healthz stays 200, and the bench mode
+# reports throughput. Fails on any violated invariant.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp -d)
+trap 'kill $PID 2>/dev/null || true; rm -rf "$OUT"' EXIT INT TERM
+
+go build -o "$OUT/simserve" ./cmd/simserve
+
+"$OUT/simserve" -addr 127.0.0.1:0 -workers 4 >"$OUT/stdout" 2>"$OUT/stderr" &
+PID=$!
+
+# The daemon prints the resolved :0 port on stdout.
+ADDR=
+for i in $(seq 1 50); do
+	ADDR=$(sed -n 's/^simserve: listening on //p' "$OUT/stdout")
+	[ -n "$ADDR" ] && break
+	kill -0 $PID 2>/dev/null || { echo "simserve died before listening"; cat "$OUT/stderr"; exit 1; }
+	sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "no 'simserve: listening on' line"; cat "$OUT/stdout"; exit 1; }
+echo "driving http://$ADDR"
+
+fetch() {
+	# curl when present, else wget (CI images vary).
+	if command -v curl >/dev/null 2>&1; then
+		curl -sf --max-time 10 "http://$ADDR$1"
+	else
+		wget -qO- -T 10 "http://$ADDR$1"
+	fi
+}
+post() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -sf --max-time 10 -X POST -d "$1" "http://$ADDR/jobs"
+	else
+		wget -qO- -T 10 --post-data="$1" "http://$ADDR/jobs"
+	fi
+}
+
+# Submit 8 healthy gravity jobs (identical specs -> identical hashes
+# expected) plus one crash-injected job in the middle of the batch.
+GOOD='{"physics":"gravity","n":400,"np":2,"steps":1}'
+BAD='{"physics":"gravity","n":400,"np":2,"steps":1,"chaos":"seed=7,crash=1,crashphase=walk"}'
+IDS=
+for i in 1 2 3 4; do
+	IDS="$IDS $(post "$GOOD" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+done
+BADID=$(post "$BAD" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+for i in 5 6 7 8; do
+	IDS="$IDS $(post "$GOOD" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+done
+[ -n "$BADID" ] || { echo "crash-job submit failed"; exit 1; }
+
+state() { fetch "/jobs/$1" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1; }
+
+wait_terminal() {
+	for i in $(seq 1 150); do
+		case "$(state "$1")" in
+		completed | failed | cancelled) return 0 ;;
+		esac
+		kill -0 $PID 2>/dev/null || { echo "server exited mid-job"; cat "$OUT/stderr"; exit 1; }
+		sleep 0.2
+	done
+	echo "job $1 never went terminal"
+	exit 1
+}
+
+# The crash-injected job must FAIL; every healthy one must COMPLETE
+# with the same forces hash.
+wait_terminal "$BADID"
+[ "$(state "$BADID")" = failed ] || { echo "crash job state: $(state "$BADID"), want failed"; exit 1; }
+fetch "/jobs/$BADID" | grep -q 'injected' || { echo "crash job error does not name the injected fault"; exit 1; }
+
+HASH=
+NOK=0
+for ID in $IDS; do
+	wait_terminal "$ID"
+	ST=$(state "$ID")
+	[ "$ST" = completed ] || { echo "job $ID state: $ST, want completed"; fetch "/jobs/$ID"; exit 1; }
+	H=$(fetch "/jobs/$ID" | sed -n 's/.*"forces_hash": "\([^"]*\)".*/\1/p')
+	[ -n "$H" ] || { echo "job $ID has no forces hash"; exit 1; }
+	if [ -z "$HASH" ]; then HASH=$H; fi
+	[ "$H" = "$HASH" ] || { echo "hash mismatch: $H vs $HASH (identical specs)"; exit 1; }
+	NOK=$((NOK + 1))
+done
+[ "$NOK" -ge 8 ] || { echo "only $NOK healthy jobs completed, want >= 8"; exit 1; }
+echo "crash contained: 1 failed, $NOK completed, hashes identical ($HASH)"
+
+# The server survived the crash: liveness, per-job telemetry and the
+# aggregate metrics all still answer.
+fetch /healthz | grep -q '"status": "ok"' || { echo "bad /healthz"; fetch /healthz; exit 1; }
+FIRST=$(echo $IDS | cut -d' ' -f1)
+fetch "/jobs/$FIRST/series?n=2" | grep -q '"step"' || { echo "bad per-job /series"; exit 1; }
+fetch /metrics | grep -q 'simserve_jobs_completed' || { echo "bad /metrics"; exit 1; }
+kill -0 $PID || { echo "server not running after the batch"; exit 1; }
+
+kill $PID 2>/dev/null || true
+wait $PID 2>/dev/null || true
+PID=
+
+# The load driver: >= 64 jobs in flight, throughput + latency report.
+"$OUT/simserve" -bench -jobs 96 -conc 64 -n 300 -np 2 -steps 1 >"$OUT/bench" 2>/dev/null
+grep -q 'jobs/sec' "$OUT/bench" || { echo "bench missing jobs/sec"; cat "$OUT/bench"; exit 1; }
+grep -q 'p99=' "$OUT/bench" || { echo "bench missing p99"; cat "$OUT/bench"; exit 1; }
+grep -q '96 completed, 0 failed' "$OUT/bench" || { echo "bench jobs failed"; cat "$OUT/bench"; exit 1; }
+sed -n 's/^bench: /  /p' "$OUT/bench"
+
+echo "simserve smoke: ok"
